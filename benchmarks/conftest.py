@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one figure or evaluation of the paper
+and prints the series it produces (paper-vs-measured shape comparisons are
+recorded in EXPERIMENTS.md).  The pytest-benchmark fixture times the
+representative computation of each artifact.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list[str]]) -> None:
+    """Print a small fixed-width table under a title banner."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows else len(header)
+              for i, header in enumerate(headers)]
+    print("  ".join(str(header).ljust(width) for header, width in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))

@@ -1,0 +1,57 @@
+"""CH5-CORR: the Chapter 5 error-correlation evaluation (studies 4-5).
+
+Study 4 injects a fault into a follower at the moment the leader crashes
+(``gfault2``); study 5 injects the same kind of fault with no leader crash
+(``gfault3``).  The fraction of faults that become errors in each study
+exposes the correlation between a leader crash and simultaneous errors in
+other processes; the workload's configured probabilities are the ground
+truth.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import chapter5_correlation_evaluation
+
+CORRELATED = 0.8
+UNCORRELATED = 0.25
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return chapter5_correlation_evaluation(
+        experiments=10,
+        correlated_probability=CORRELATED,
+        uncorrelated_probability=UNCORRELATED,
+        seed=51,
+    )
+
+
+def test_bench_chapter5_correlation(benchmark, evaluation):
+    """Time a one-experiment correlation campaign and print the evaluation."""
+    benchmark(
+        chapter5_correlation_evaluation,
+        experiments=1,
+        correlated_probability=CORRELATED,
+        uncorrelated_probability=UNCORRELATED,
+        seed=1,
+    )
+    print_table(
+        "Chapter 5, evaluation 2 — leader-crash / follower-error correlation",
+        ["condition", "errors/injections (measured)", "configured"],
+        [
+            ["leader crashed (study 4, gfault2)",
+             f"{evaluation.correlated_error_fraction:.2f}", f"{CORRELATED:.2f}"],
+            ["no leader crash (study 5, gfault3)",
+             f"{evaluation.uncorrelated_error_fraction:.2f}", f"{UNCORRELATED:.2f}"],
+        ],
+    )
+
+
+def test_correlation_direction_matches_configuration(evaluation):
+    assert evaluation.correlated_error_fraction > evaluation.uncorrelated_error_fraction
+
+
+def test_experiments_accepted(evaluation):
+    for study, (accepted, total) in evaluation.accepted.items():
+        assert accepted >= total // 2, study

@@ -1,0 +1,53 @@
+"""CH5-COV: the Chapter 5 coverage evaluation (studies 1-3).
+
+Injects a fault into the leader of the election protocol, measures whether
+the crashed leader recovers (is restarted), and combines the per-study
+coverages into an overall stratified-weighted coverage.  The restart
+policy's success probability is known, so the estimate can be checked
+against ground truth — the methodological point of Section 5.8.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import chapter5_coverage_evaluation
+
+RECOVERY_PROBABILITY = 0.7
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return chapter5_coverage_evaluation(
+        experiments=6, recovery_probability=RECOVERY_PROBABILITY, seed=41
+    )
+
+
+def test_bench_chapter5_coverage(benchmark, evaluation):
+    """Time a one-experiment coverage campaign and print the evaluation."""
+    benchmark(
+        chapter5_coverage_evaluation,
+        experiments=1,
+        recovery_probability=RECOVERY_PROBABILITY,
+        seed=1,
+    )
+    rows = [
+        [study, f"{coverage:.2f}",
+         f"{evaluation.per_study_accepted[study][0]}/{evaluation.per_study_accepted[study][1]}"]
+        for study, coverage in evaluation.per_study_coverage.items()
+    ]
+    rows.append(["overall (stratified weighted)", f"{evaluation.overall_coverage:.2f}", "-"])
+    rows.append(["ground truth", f"{evaluation.recovery_probability:.2f}", "-"])
+    print_table(
+        "Chapter 5, evaluation 1 — coverage of an error in the leader",
+        ["study", "coverage", "accepted"],
+        rows,
+    )
+
+
+def test_coverage_estimate_tracks_ground_truth(evaluation):
+    assert evaluation.overall_coverage == pytest.approx(RECOVERY_PROBABILITY, abs=0.3)
+
+
+def test_most_experiments_are_accepted(evaluation):
+    for study, (accepted, total) in evaluation.per_study_accepted.items():
+        assert accepted >= total // 2, study

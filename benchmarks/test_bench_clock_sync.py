@@ -1,0 +1,44 @@
+"""CLK-SYNC: tightness of the offline clock-synchronization bounds (Section 2.5).
+
+The paper reports that on a LAN the difference between the lower and upper
+global-time bounds of an event is "quite small".  This bench sweeps the
+number of synchronization messages per mini-phase and reports the achieved
+offset/drift bound widths and the mean per-event uncertainty on the global
+timeline.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import clock_sync_quality
+
+
+@pytest.fixture(scope="module")
+def quality():
+    return clock_sync_quality(message_counts=(5, 10, 25, 50), seed=8)
+
+
+def test_bench_clock_sync(benchmark, quality):
+    """Time a small sweep and print the bound-width table."""
+    benchmark(clock_sync_quality, message_counts=(10,), seed=1)
+    print_table(
+        "Section 2.5 — clock-synchronization bound tightness",
+        ["msgs/phase", "mean alpha width (us)", "mean beta width", "mean event uncertainty (us)"],
+        [
+            [q.messages_per_phase,
+             f"{q.mean_alpha_width * 1e6:.1f}",
+             f"{q.mean_beta_width:.2e}",
+             f"{q.mean_event_uncertainty * 1e6:.1f}"]
+            for q in quality
+        ],
+    )
+
+
+def test_event_uncertainty_is_sub_millisecond(quality):
+    """On the simulated LAN the per-event uncertainty stays well below 1 ms."""
+    for q in quality:
+        assert q.mean_event_uncertainty < 0.001
+
+
+def test_more_messages_do_not_hurt(quality):
+    assert quality[-1].mean_alpha_width <= quality[0].mean_alpha_width * 1.5

@@ -1,0 +1,44 @@
+"""TAB-3.4: quantitative version of the Section 3.4 design-choice comparison.
+
+The paper compares the centralized, partially distributed, and fully
+distributed daemon placements (with notifications routed through daemons or
+sent directly) qualitatively.  This bench runs the same workload under all
+six combinations and reports injection accuracy and message/connection
+costs.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import design_comparison
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return design_comparison(dwell_time=0.020, timeslice=0.005, experiments=2, seed=17)
+
+
+def test_bench_design_choices(benchmark, rows):
+    """Time one design's workload and print the full comparison table."""
+    benchmark(design_comparison, dwell_time=0.020, timeslice=0.005, experiments=1, seed=1)
+    print_table(
+        "Section 3.4 — runtime design comparison",
+        ["design", "P(correct)", "notif msgs", "daemon fwds", "conn setups"],
+        [
+            [row.design, f"{row.correct_fraction:.2f}", row.notification_messages,
+             row.daemon_forwards, row.connection_setups]
+            for row in rows
+        ],
+    )
+
+
+def test_all_designs_inject_correctly(rows):
+    """Every design achieves usable injection accuracy on this workload."""
+    for row in rows:
+        assert row.correct_fraction > 0.4, row.design
+
+
+def test_via_daemon_designs_route_through_daemons(rows):
+    by_design = {row.design: row for row in rows}
+    assert by_design["partially_distributed/via_daemon"].daemon_forwards > 0
+    assert by_design["partially_distributed/direct"].daemon_forwards == 0

@@ -1,0 +1,56 @@
+"""FIG-3.2: correct fault-injection probability vs. time in state, 10 ms timeslice.
+
+The paper's Figure 3.2 shows that with the stock 10 ms Linux timeslice the
+original Loki runtime injects faults in the intended global state with high
+probability once the application stays in that state for more than a couple
+of OS timeslices, and with low probability below one timeslice.  The bench
+sweeps the dwell time and reports the measured probability curve.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import injection_probability_sweep
+
+TIMESLICE = 0.010
+DWELL_TIMES = (0.002, 0.005, 0.010, 0.020, 0.030, 0.050)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return injection_probability_sweep(
+        timeslice=TIMESLICE, dwell_times=DWELL_TIMES, experiments=3, cycles=8, seed=32
+    )
+
+
+def test_bench_figure_3_2(benchmark, sweep):
+    """Regenerate Figure 3.2 and time one data point of the sweep."""
+    benchmark(
+        injection_probability_sweep,
+        timeslice=TIMESLICE,
+        dwell_times=(0.020,),
+        experiments=1,
+        cycles=4,
+        seed=1,
+    )
+    rows = [
+        [f"{point.dwell_time * 1000:.0f} ms",
+         f"{point.dwell_time / TIMESLICE:.1f}",
+         point.injections,
+         f"{point.probability:.2f}"]
+        for point in sweep
+    ]
+    print_table(
+        "Figure 3.2 — correct injection probability (10 ms timeslice)",
+        ["time in state", "timeslices", "injections", "P(correct)"],
+        rows,
+    )
+
+
+def test_shape_matches_paper(sweep):
+    """Shape check: low below one timeslice, saturated above a couple."""
+    by_dwell = {point.dwell_time: point.probability for point in sweep}
+    assert by_dwell[0.002] < 0.6
+    assert by_dwell[0.050] > 0.75
+    assert by_dwell[0.050] >= by_dwell[0.005]
+    assert by_dwell[0.002] < by_dwell[0.050]

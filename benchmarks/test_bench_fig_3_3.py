@@ -1,0 +1,61 @@
+"""FIG-3.3: correct fault-injection probability vs. time in state, 1 ms timeslice.
+
+With the patched 1 ms timeslice kernel, the paper's Figure 3.3 shows the
+probability curve saturating at much smaller dwell times than Figure 3.2:
+the OS context-switch latency, not the network or Loki itself, dominates
+the notification delay.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments import injection_probability_sweep
+
+TIMESLICE = 0.001
+DWELL_TIMES = (0.0005, 0.001, 0.002, 0.003, 0.005, 0.010)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return injection_probability_sweep(
+        timeslice=TIMESLICE, dwell_times=DWELL_TIMES, experiments=3, cycles=8, seed=33
+    )
+
+
+def test_bench_figure_3_3(benchmark, sweep):
+    """Regenerate Figure 3.3 and time one data point of the sweep."""
+    benchmark(
+        injection_probability_sweep,
+        timeslice=TIMESLICE,
+        dwell_times=(0.003,),
+        experiments=1,
+        cycles=4,
+        seed=2,
+    )
+    rows = [
+        [f"{point.dwell_time * 1000:.1f} ms",
+         f"{point.dwell_time / TIMESLICE:.1f}",
+         point.injections,
+         f"{point.probability:.2f}"]
+        for point in sweep
+    ]
+    print_table(
+        "Figure 3.3 — correct injection probability (1 ms timeslice)",
+        ["time in state", "timeslices", "injections", "P(correct)"],
+        rows,
+    )
+
+
+def test_shape_matches_paper(sweep):
+    """The 1 ms-timeslice curve saturates at millisecond-scale dwell times."""
+    by_dwell = {point.dwell_time: point.probability for point in sweep}
+    assert by_dwell[0.010] > 0.75
+    assert by_dwell[0.010] >= by_dwell[0.0005]
+
+
+def test_smaller_timeslice_improves_accuracy():
+    """Cross-figure claim: at the same dwell time, 1 ms beats 10 ms timeslices."""
+    dwell = (0.005,)
+    fast = injection_probability_sweep(0.001, dwell, experiments=3, cycles=6, seed=5)[0]
+    slow = injection_probability_sweep(0.010, dwell, experiments=3, cycles=6, seed=5)[0]
+    assert fast.probability >= slow.probability

@@ -1,0 +1,65 @@
+"""FIG-4.2: the worked measure-language example of Section 4.3.
+
+The paper gives an example global timeline, three predicates, and the
+values of three observation functions applied to each predicate value
+timeline.  This bench evaluates the same predicates and observation
+functions on the transcribed timeline and prints paper-vs-measured values.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.paper_data import (
+    FIGURE_4_2_PAPER_VALUES,
+    figure_4_2_observation_functions,
+    figure_4_2_predicates,
+    figure_4_2_view,
+)
+
+LABELS = ("count(U, B, 10, 35)", "duration(T, 2, 10, 40)", "instant(U, I, 2, 0, 50)")
+
+
+@pytest.fixture(scope="module")
+def measured():
+    view = figure_4_2_view()
+    predicates = figure_4_2_predicates()
+    observations = figure_4_2_observation_functions()
+    values = {}
+    for label, observation in zip(LABELS, observations):
+        values[label] = tuple(
+            observation(predicate.evaluate(view)) for predicate in predicates
+        )
+    return values
+
+
+def test_bench_figure_4_2(benchmark, measured):
+    """Time the full predicate-evaluation + observation pipeline."""
+
+    def evaluate_all():
+        view = figure_4_2_view()
+        return [
+            observation(predicate.evaluate(view))
+            for observation in figure_4_2_observation_functions()
+            for predicate in figure_4_2_predicates()
+        ]
+
+    benchmark(evaluate_all)
+    rows = []
+    for label in LABELS:
+        paper = FIGURE_4_2_PAPER_VALUES[label]
+        ours = measured[label]
+        for index in range(3):
+            rows.append(
+                [label, f"predicate {index + 1}", f"{paper[index]:g}", f"{ours[index]:g}"]
+            )
+    print_table(
+        "Figure 4.2 — observation function values (paper vs measured)",
+        ["observation function", "predicate", "paper", "measured"],
+        rows,
+    )
+
+
+def test_values_match_paper(measured):
+    for label in LABELS:
+        for paper_value, ours in zip(FIGURE_4_2_PAPER_VALUES[label], measured[label]):
+            assert ours == pytest.approx(paper_value, abs=0.11)

@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work in offline environments.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on machines without the ``wheel``
+package or network access to fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

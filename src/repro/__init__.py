@@ -1,0 +1,70 @@
+"""Reproduction of *Loki: A State-Driven Fault Injector for Distributed Systems*.
+
+The library is organized around the paper's three phases:
+
+* :mod:`repro.core` — the Loki runtime (specifications, state machines,
+  fault parser, probe, recorder, daemons, transports) and campaign
+  orchestration, executed on the simulated substrate in :mod:`repro.sim`;
+* :mod:`repro.analysis` — offline clock synchronization, global-timeline
+  construction, and conservative injection verification;
+* :mod:`repro.measures` — the predicate / observation-function / subset
+  measure language and the simple-sampling / stratified campaign
+  estimators.
+
+:mod:`repro.pipeline` ties the phases together, and :mod:`repro.apps`
+contains the instrumented example applications (leader election, the
+Figure 3.2/3.3 toggle workload, and primary-backup replication).
+"""
+
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignRunner,
+    ExperimentResult,
+    HostConfig,
+    StudyConfig,
+    StudyResult,
+    run_campaign,
+    run_single_study,
+)
+from repro.core.runtime.context import NodeDefinition, RestartPolicy, WatchdogConfig
+from repro.core.runtime.designs import CommunicationMode, DaemonPlacement, RuntimeDesign
+from repro.pipeline import (
+    AnalyzedExperiment,
+    CampaignAnalysis,
+    StudyAnalysis,
+    analyze_campaign,
+    analyze_experiment,
+    analyze_study,
+    correct_injection_fraction,
+    run_and_analyze,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyzedExperiment",
+    "CampaignAnalysis",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "CommunicationMode",
+    "DaemonPlacement",
+    "ExperimentResult",
+    "HostConfig",
+    "NodeDefinition",
+    "RestartPolicy",
+    "RuntimeDesign",
+    "StudyAnalysis",
+    "StudyConfig",
+    "StudyResult",
+    "WatchdogConfig",
+    "analyze_campaign",
+    "analyze_experiment",
+    "analyze_study",
+    "correct_injection_fraction",
+    "run_and_analyze",
+    "run_campaign",
+    "run_single_study",
+    "__version__",
+]

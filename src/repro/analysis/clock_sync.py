@@ -1,0 +1,245 @@
+"""Offline clock synchronization (Section 2.5).
+
+The analysis phase assumes the processor clocks drift linearly: for a
+machine ``i`` and the reference machine ``r``::
+
+    C_i(t) = alpha_ri + beta_ri * C_r(t)
+
+Synchronization messages exchanged between the reference machine and every
+other machine before and after each experiment give one-sided constraints
+on ``(alpha, beta)``:
+
+* a message ``r -> i`` sent at reference-clock ``s`` and received at
+  machine-clock ``c`` implies ``alpha + beta * s <= c`` (the message cannot
+  arrive before it was sent);
+* a message ``i -> r`` sent at machine-clock ``c`` and received at
+  reference-clock ``s`` implies ``alpha + beta * s >= c``.
+
+The feasible region of these half-planes is a convex polygon.  Rather than
+exact values, the algorithm reports the extreme values ``[alpha-, alpha+]``
+and ``[beta-, beta+]`` over that polygon — intervals that are *guaranteed*
+to contain the true offset and drift, unlike confidence intervals.  The
+extremes are found with four small linear programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import ClockSynchronizationError
+
+
+@dataclass(frozen=True)
+class SyncMessageRecord:
+    """One synchronization message between two hosts.
+
+    ``send_time`` is the sender's local clock at transmission and
+    ``receive_time`` the receiver's local clock at reception.
+    """
+
+    sender: str
+    receiver: str
+    send_time: float
+    receive_time: float
+
+
+@dataclass(frozen=True)
+class ClockBounds:
+    """Guaranteed bounds on the offset and drift of one machine's clock.
+
+    The true ``(alpha, beta)`` relating the machine's clock to the
+    reference clock always lies inside ``[alpha_lower, alpha_upper] x
+    [beta_lower, beta_upper]``.
+
+    ``vertices`` optionally carries the corners of the feasible convex
+    polygon itself.  The offset and drift errors allowed by the constraints
+    are strongly anti-correlated, so projecting event times through the
+    polygon's vertices gives much tighter — still guaranteed — global-time
+    bounds than the rectangular-corner formula; when no vertices are stored
+    the rectangle corners are used, which is exactly the paper's
+    Equation 2.2.
+    """
+
+    alpha_lower: float
+    alpha_upper: float
+    beta_lower: float
+    beta_upper: float
+    vertices: tuple[tuple[float, float], ...] = ()
+
+    @classmethod
+    def identity(cls) -> "ClockBounds":
+        """The bounds of the reference machine relative to itself."""
+        return cls(0.0, 0.0, 1.0, 1.0)
+
+    @property
+    def alpha_width(self) -> float:
+        """Width of the offset interval, in seconds."""
+        return self.alpha_upper - self.alpha_lower
+
+    @property
+    def beta_width(self) -> float:
+        """Width of the drift interval (dimensionless)."""
+        return self.beta_upper - self.beta_lower
+
+    @property
+    def alpha_midpoint(self) -> float:
+        """Midpoint estimate of the offset."""
+        return 0.5 * (self.alpha_lower + self.alpha_upper)
+
+    @property
+    def beta_midpoint(self) -> float:
+        """Midpoint estimate of the drift."""
+        return 0.5 * (self.beta_lower + self.beta_upper)
+
+    def contains(self, alpha: float, beta: float) -> bool:
+        """Whether a candidate ``(alpha, beta)`` lies inside the bounds."""
+        return (
+            self.alpha_lower <= alpha <= self.alpha_upper
+            and self.beta_lower <= beta <= self.beta_upper
+        )
+
+    def project_to_reference(self, local_time: float) -> tuple[float, float]:
+        """Project a local-clock reading onto the reference clock.
+
+        Returns guaranteed ``(lower, upper)`` bounds on the reference-clock
+        time of the event.  ``(local_time - alpha) / beta`` is a
+        linear-fractional function of ``(alpha, beta)``, so over a convex
+        polygon its extremes occur at vertices; when the feasible-polygon
+        vertices are available they are used, otherwise the four corners of
+        the bounding rectangle (the paper's Equation 2.2) are evaluated.
+        """
+        if self.vertices:
+            corners = self.vertices
+        else:
+            corners = tuple(
+                (alpha, beta)
+                for alpha in (self.alpha_lower, self.alpha_upper)
+                for beta in (self.beta_lower, self.beta_upper)
+            )
+        candidates = [(local_time - alpha) / beta for alpha, beta in corners]
+        return min(candidates), max(candidates)
+
+
+def select_reference_host(clock_rates: Mapping[str, float]) -> str:
+    """Pick the reference machine: the one with the fastest clock.
+
+    The paper uses the fastest machine as the reference because mapping a
+    fast clock onto a slower one would lose resolution (Section 5.7).
+    """
+    if not clock_rates:
+        raise ClockSynchronizationError("no hosts to choose a reference from")
+    return max(sorted(clock_rates), key=lambda host: clock_rates[host])
+
+
+def _constraints_for(
+    messages: Sequence[SyncMessageRecord], machine: str, reference: str
+) -> tuple[np.ndarray, np.ndarray]:
+    rows: list[list[float]] = []
+    bounds: list[float] = []
+    for message in messages:
+        if message.sender == reference and message.receiver == machine:
+            # alpha + beta * send <= receive
+            rows.append([1.0, message.send_time])
+            bounds.append(message.receive_time)
+        elif message.sender == machine and message.receiver == reference:
+            # alpha + beta * receive >= send  <=>  -alpha - beta * receive <= -send
+            rows.append([-1.0, -message.receive_time])
+            bounds.append(-message.send_time)
+    if not rows:
+        raise ClockSynchronizationError(
+            f"no synchronization messages between {machine!r} and reference {reference!r}"
+        )
+    return np.asarray(rows, dtype=float), np.asarray(bounds, dtype=float)
+
+
+def _optimize(
+    objective: Sequence[float],
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    machine: str,
+) -> float:
+    result = linprog(
+        c=list(objective),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(None, None), (1e-9, None)],
+        method="highs",
+    )
+    if result.status == 3:
+        raise ClockSynchronizationError(
+            f"clock bounds for {machine!r} are unbounded; synchronization messages must "
+            "flow in both directions before and after the experiment"
+        )
+    if not result.success:
+        raise ClockSynchronizationError(
+            f"clock-bound estimation for {machine!r} failed: {result.message}"
+        )
+    return float(result.fun)
+
+
+def _feasible_vertices(a_ub: np.ndarray, b_ub: np.ndarray) -> tuple[tuple[float, float], ...]:
+    """Vertices of the convex polygon ``{x : A x <= b}`` in the (alpha, beta) plane.
+
+    Every pair of constraint boundary lines is intersected and the points
+    satisfying all constraints (within a small relative tolerance) are kept.
+    The polygon is known to be bounded because the caller has already run
+    the four bounding linear programs successfully.
+    """
+    count = a_ub.shape[0]
+    vertices: list[tuple[float, float]] = []
+    tolerance = 1e-9
+    scale = np.maximum(1.0, np.abs(b_ub))
+    for i in range(count):
+        for j in range(i + 1, count):
+            matrix = np.array([a_ub[i], a_ub[j]])
+            rhs = np.array([b_ub[i], b_ub[j]])
+            determinant = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+            if abs(determinant) < 1e-15:
+                continue
+            point = np.linalg.solve(matrix, rhs)
+            if np.all(a_ub @ point <= b_ub + tolerance * scale) and point[1] > 0:
+                vertices.append((float(point[0]), float(point[1])))
+    return tuple(vertices)
+
+
+def estimate_clock_bounds(
+    messages: Iterable[SyncMessageRecord], machine: str, reference: str
+) -> ClockBounds:
+    """Estimate offset/drift bounds for ``machine`` relative to ``reference``."""
+    if machine == reference:
+        return ClockBounds.identity()
+    message_list = list(messages)
+    a_ub, b_ub = _constraints_for(message_list, machine, reference)
+    alpha_lower = _optimize([1.0, 0.0], a_ub, b_ub, machine)
+    alpha_upper = -_optimize([-1.0, 0.0], a_ub, b_ub, machine)
+    beta_lower = _optimize([0.0, 1.0], a_ub, b_ub, machine)
+    beta_upper = -_optimize([0.0, -1.0], a_ub, b_ub, machine)
+    if alpha_upper < alpha_lower or beta_upper < beta_lower:
+        raise ClockSynchronizationError(
+            f"inconsistent clock bounds for {machine!r}: "
+            f"alpha [{alpha_lower}, {alpha_upper}], beta [{beta_lower}, {beta_upper}]"
+        )
+    return ClockBounds(
+        alpha_lower=alpha_lower,
+        alpha_upper=alpha_upper,
+        beta_lower=beta_lower,
+        beta_upper=beta_upper,
+        vertices=_feasible_vertices(a_ub, b_ub),
+    )
+
+
+def estimate_all_bounds(
+    messages: Iterable[SyncMessageRecord],
+    machines: Iterable[str],
+    reference: str,
+) -> dict[str, ClockBounds]:
+    """Estimate bounds for every machine in ``machines`` (reference included)."""
+    message_list = list(messages)
+    bounds: dict[str, ClockBounds] = {}
+    for machine in machines:
+        bounds[machine] = estimate_clock_bounds(message_list, machine, reference)
+    return bounds

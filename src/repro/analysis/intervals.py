@@ -1,0 +1,189 @@
+"""Closed-interval sets on the real line.
+
+Both the analysis phase (certainly/possibly-true regions of fault
+expressions) and the measure layer (predicate value timelines) need basic
+algebra over unions of closed intervals: union, intersection, complement
+within a window, containment, and total length.  This module provides a
+small immutable :class:`IntervalSet` with exactly those operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[start, end]`` (possibly a single point)."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise AnalysisError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def length(self) -> float:
+        """The interval's length (zero for a point)."""
+        return self.end - self.start
+
+    def contains(self, time: float) -> bool:
+        """Whether ``time`` lies inside the closed interval."""
+        return self.start <= time <= self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether ``other`` lies entirely inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two closed intervals share at least a point."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The intersection of two intervals, or ``None`` if disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if end < start:
+            return None
+        return Interval(start, end)
+
+    def clip(self, lower: float, upper: float) -> "Interval | None":
+        """This interval restricted to ``[lower, upper]`` (``None`` if empty)."""
+        return self.intersect(Interval(lower, upper))
+
+
+class IntervalSet:
+    """An immutable, normalized union of disjoint closed intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: tuple[Interval, ...] = self._normalize(intervals)
+
+    @staticmethod
+    def _normalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+        items = sorted(intervals, key=lambda interval: (interval.start, interval.end))
+        merged: list[Interval] = []
+        for interval in items:
+            if merged and interval.start <= merged[-1].end:
+                previous = merged.pop()
+                merged.append(Interval(previous.start, max(previous.end, interval.end)))
+            else:
+                merged.append(interval)
+        return tuple(merged)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set."""
+        return cls(())
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[float, float]]) -> "IntervalSet":
+        """Build from ``(start, end)`` pairs."""
+        return cls(Interval(start, end) for start, end in pairs)
+
+    @classmethod
+    def point(cls, time: float) -> "IntervalSet":
+        """A single point."""
+        return cls((Interval(time, time),))
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The disjoint intervals in increasing order."""
+        return self._intervals
+
+    def pairs(self) -> tuple[tuple[float, float], ...]:
+        """The intervals as ``(start, end)`` pairs."""
+        return tuple((interval.start, interval.end) for interval in self._intervals)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the set contains no intervals."""
+        return not self._intervals
+
+    def total_length(self) -> float:
+        """Sum of the lengths of all intervals."""
+        return sum(interval.length for interval in self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    # -- queries --------------------------------------------------------------------
+
+    def contains(self, time: float) -> bool:
+        """Whether ``time`` lies inside any interval of the set."""
+        return any(interval.contains(time) for interval in self._intervals)
+
+    def contains_interval(self, start: float, end: float) -> bool:
+        """Whether ``[start, end]`` lies entirely inside a single interval."""
+        probe = Interval(start, end)
+        return any(interval.contains_interval(probe) for interval in self._intervals)
+
+    # -- algebra -----------------------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union."""
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection."""
+        result: list[Interval] = []
+        for left in self._intervals:
+            for right in other._intervals:
+                overlap = left.intersect(right)
+                if overlap is not None:
+                    result.append(overlap)
+        return IntervalSet(result)
+
+    def complement(self, lower: float, upper: float) -> "IntervalSet":
+        """The complement of the set within the window ``[lower, upper]``."""
+        if upper < lower:
+            raise AnalysisError("complement window upper bound precedes lower bound")
+        gaps: list[Interval] = []
+        cursor = lower
+        for interval in self._intervals:
+            if interval.end < lower:
+                continue
+            if interval.start > upper:
+                break
+            if interval.start > cursor:
+                gaps.append(Interval(cursor, min(interval.start, upper)))
+            cursor = max(cursor, interval.end)
+        if cursor < upper:
+            gaps.append(Interval(cursor, upper))
+        return IntervalSet(gaps)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference ``self - other`` (within the extent of ``self``)."""
+        if self.is_empty:
+            return IntervalSet.empty()
+        lower = self._intervals[0].start
+        upper = self._intervals[-1].end
+        return self.intersection(other.complement(lower, upper))
+
+    def clip(self, lower: float, upper: float) -> "IntervalSet":
+        """The set restricted to the window ``[lower, upper]``."""
+        return self.intersection(IntervalSet((Interval(lower, upper),)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = ", ".join(f"[{interval.start:g}, {interval.end:g}]" for interval in self._intervals)
+        return f"IntervalSet({parts})"

@@ -1,0 +1,47 @@
+"""Instrumented test applications (the systems under study).
+
+Three applications exercise the public API on realistic scenarios:
+
+* :mod:`repro.apps.election` — the leader-election protocol of Chapter 5,
+  used for the coverage and error-correlation evaluations;
+* :mod:`repro.apps.toggle` — the two-node application used for the runtime
+  performance analysis of Figures 3.2 and 3.3 (correct-injection
+  probability as a function of the time spent in a state);
+* :mod:`repro.apps.replication` — a primary-backup replication service with
+  global-state-driven faults (crash the primary while a backup is
+  synchronizing).
+"""
+
+from repro.apps.election import (
+    LeaderElectionApplication,
+    build_election_study,
+    election_fault_specification,
+    election_state_machine_spec,
+)
+from repro.apps.replication import (
+    ReplicationApplication,
+    build_replication_study,
+    replication_state_machine_spec,
+)
+from repro.apps.toggle import (
+    ToggleDriverApplication,
+    ToggleObserverApplication,
+    build_toggle_study,
+    driver_state_machine_spec,
+    observer_state_machine_spec,
+)
+
+__all__ = [
+    "LeaderElectionApplication",
+    "ReplicationApplication",
+    "ToggleDriverApplication",
+    "ToggleObserverApplication",
+    "build_election_study",
+    "build_replication_study",
+    "build_toggle_study",
+    "driver_state_machine_spec",
+    "election_fault_specification",
+    "election_state_machine_spec",
+    "observer_state_machine_spec",
+    "replication_state_machine_spec",
+]

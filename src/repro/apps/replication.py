@@ -1,0 +1,242 @@
+"""A primary-backup replication service with global-state-driven faults.
+
+This is the third example workload: one primary process accepts client
+requests (generated internally by a timer), replicates each batch to the
+backup processes, and waits for acknowledgements; a backup that is applying
+a batch is in the ``SYNC`` state.  The interesting global-state-driven
+fault is "crash the primary while a backup is synchronizing" — a scenario
+that cannot be targeted by a purely local-state fault injector, and the
+kind of subtle multi-component state the paper's introduction motivates.
+
+If the primary crashes, the first backup (in name order) that detects the
+silence promotes itself to primary and the service continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign import HostConfig, StudyConfig
+from repro.core.expression import And, StateAtom
+from repro.core.runtime.application import LokiApplication, NodeContext
+from repro.core.runtime.context import NodeDefinition, RestartPolicy
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.specs.state_machine import (
+    StateMachineSpecification,
+    StateSpecification,
+    build_specification,
+)
+
+REPLICATION_STATES = ("BEGIN", "INIT", "PRIMARY", "BACKUP", "SYNC", "CRASH", "EXIT")
+REPLICATION_EVENTS = (
+    "START",
+    "BECOME_PRIMARY",
+    "BECOME_BACKUP",
+    "SYNC_START",
+    "SYNC_DONE",
+    "PROMOTE",
+    "CRASH",
+    "ERROR",
+)
+
+
+def replication_state_machine_spec(
+    name: str, peers: tuple[str, ...]
+) -> StateMachineSpecification:
+    """State machine of one replica.
+
+    Every state that a remote fault expression can reference (PRIMARY,
+    SYNC, CRASH) notifies the other replicas.
+    """
+    others = tuple(peer for peer in peers if peer != name)
+    states = [
+        StateSpecification(
+            name="INIT",
+            notify=(),
+            transitions={"BECOME_PRIMARY": "PRIMARY", "BECOME_BACKUP": "BACKUP", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="PRIMARY",
+            notify=others,
+            transitions={"CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="BACKUP",
+            notify=others,
+            transitions={"SYNC_START": "SYNC", "PROMOTE": "PRIMARY", "CRASH": "CRASH",
+                         "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="SYNC",
+            notify=others,
+            transitions={"SYNC_DONE": "BACKUP", "PROMOTE": "PRIMARY", "CRASH": "CRASH",
+                         "ERROR": "EXIT"},
+        ),
+        StateSpecification(name="CRASH", notify=others, transitions={}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, REPLICATION_STATES, REPLICATION_EVENTS, states)
+
+
+def primary_during_sync_fault(
+    primary: str, backup: str, name: str = "psync"
+) -> FaultDefinition:
+    """``((primary:PRIMARY) & (backup:SYNC)) once`` — the motivating fault."""
+    return FaultDefinition(
+        name=name,
+        expression=And(StateAtom(primary, "PRIMARY"), StateAtom(backup, "SYNC")),
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+@dataclass
+class ReplicationParameters:
+    """Workload parameters of the replication service."""
+
+    request_interval: float = 0.015
+    sync_duration: float = 0.008
+    ack_timeout: float = 0.050
+    failover_timeout: float = 0.080
+    run_duration: float = 1.0
+    primary: str = "replica1"
+    fault_dormancy: float = 0.002
+
+
+class ReplicationApplication(LokiApplication):
+    """One replica of the primary-backup service."""
+
+    def __init__(self, parameters: ReplicationParameters | None = None) -> None:
+        self.parameters = parameters or ReplicationParameters()
+        self._is_primary = False
+        self._sequence = 0
+        self._applied = 0
+        self._acknowledged: dict[int, set[str]] = {}
+        self._last_primary_traffic = 0.0
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT")
+        ctx.set_timer(self.parameters.run_duration, self._finish, ctx)
+        ctx.set_timer(0.002, self._assume_role, ctx)
+
+    def _assume_role(self, ctx: NodeContext) -> None:
+        if not ctx.alive:
+            return
+        self._last_primary_traffic = ctx.local_time()
+        if ctx.nickname == self.parameters.primary:
+            self._become_primary(ctx)
+        else:
+            ctx.notify_event("BECOME_BACKUP")
+            self._watch_primary(ctx)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive and not self._stopped:
+            self._stopped = True
+            ctx.exit()
+
+    # -- primary behaviour ---------------------------------------------------------------
+
+    def _become_primary(self, ctx: NodeContext) -> None:
+        self._is_primary = True
+        if ctx.current_state in ("BACKUP", "SYNC"):
+            ctx.notify_event("PROMOTE")
+        else:
+            ctx.notify_event("BECOME_PRIMARY")
+        self._issue_request(ctx)
+
+    def _issue_request(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive or not self._is_primary:
+            return
+        self._sequence += 1
+        self._acknowledged[self._sequence] = set()
+        for peer in ctx.peers():
+            if peer != ctx.nickname:
+                ctx.send(peer, {"type": "replicate", "sequence": self._sequence})
+        ctx.set_timer(self.parameters.request_interval, self._issue_request, ctx)
+
+    # -- backup behaviour ------------------------------------------------------------------
+
+    def _watch_primary(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive or self._is_primary:
+            return
+        silence = ctx.local_time() - self._last_primary_traffic
+        if silence > self.parameters.failover_timeout:
+            if self._should_take_over(ctx):
+                self._become_primary(ctx)
+                return
+        ctx.set_timer(self.parameters.failover_timeout / 2.0, self._watch_primary, ctx)
+
+    def _should_take_over(self, ctx: NodeContext) -> bool:
+        # The first live backup in name order takes over; a deterministic
+        # rule keeps the failover free of extra coordination traffic.
+        candidates = sorted(peer for peer in ctx.peers() if peer != self.parameters.primary)
+        return bool(candidates) and candidates[0] == ctx.nickname
+
+    def on_message(self, ctx: NodeContext, source: str, payload: object) -> None:
+        if self._stopped or not isinstance(payload, dict):
+            return
+        kind = payload.get("type")
+        if kind == "replicate":
+            self._last_primary_traffic = ctx.local_time()
+            if ctx.current_state == "BACKUP":
+                ctx.notify_event("SYNC_START")
+                ctx.set_timer(
+                    self.parameters.sync_duration, self._finish_sync, ctx, source, payload
+                )
+        elif kind == "ack":
+            acked = self._acknowledged.get(int(payload["sequence"]))
+            if acked is not None:
+                acked.add(source)
+
+    def _finish_sync(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        if ctx.current_state == "SYNC":
+            self._applied += 1
+            ctx.notify_event("SYNC_DONE")
+            ctx.send(source, {"type": "ack", "sequence": payload["sequence"]})
+
+    # -- fault injection -----------------------------------------------------------------------
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        ctx.set_timer(
+            self.parameters.fault_dormancy,
+            lambda: ctx.crash(reason=f"fault {fault_name} crashed the replica"),
+        )
+
+
+def build_replication_study(
+    name: str,
+    faults_by_machine: dict[str, tuple[FaultDefinition, ...]] | None = None,
+    machines: tuple[str, ...] = ("replica1", "replica2", "replica3"),
+    hosts: tuple[str, ...] = ("hosta", "hostb", "hostc"),
+    experiments: int = 10,
+    parameters: ReplicationParameters | None = None,
+    seed: int = 0,
+) -> StudyConfig:
+    """Assemble a ready-to-run replication study."""
+    parameters = parameters or ReplicationParameters(primary=machines[0])
+    faults_by_machine = faults_by_machine or {
+        machines[0]: (primary_during_sync_fault(machines[0], machines[1]),)
+    }
+    nodes = [
+        NodeDefinition(
+            nickname=machine,
+            specification=replication_state_machine_spec(machine, machines),
+            faults=FaultSpecification.from_definitions(faults_by_machine.get(machine, ())),
+            application_factory=lambda parameters=parameters: ReplicationApplication(parameters),
+            start_host=hosts[index % len(hosts)],
+        )
+        for index, machine in enumerate(machines)
+    ]
+    return StudyConfig(
+        name=name,
+        hosts=[HostConfig(name=host) for host in hosts],
+        nodes=nodes,
+        experiments=experiments,
+        restart_policy=RestartPolicy(enabled=False),
+        experiment_timeout=parameters.run_duration + 2.0,
+        seed=seed,
+    )

@@ -1,0 +1,195 @@
+"""The two-node application used for the runtime performance analysis.
+
+Figures 3.2 and 3.3 of the paper measure how often Loki injects a fault in
+the intended global state as a function of the time the application spends
+in that state, for two OS timeslices.  The workload behind those figures is
+reproduced here: a *driver* machine alternates between an ``ACTIVE`` and an
+``IDLE`` state with a configurable dwell time, and an *observer* machine on
+a different host carries a fault triggered by the global state
+``(driver:ACTIVE) & (observer:READY)``.  Whether each injection lands while
+the driver is still ``ACTIVE`` depends on the notification latency, which
+is dominated by the OS scheduling delay — exactly the effect the figures
+show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign import HostConfig, StudyConfig
+from repro.core.expression import And, StateAtom
+from repro.core.runtime.application import LokiApplication, NodeContext
+from repro.core.runtime.context import NodeDefinition, RestartPolicy, WatchdogConfig
+from repro.core.runtime.designs import RuntimeDesign
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.specs.state_machine import (
+    StateMachineSpecification,
+    StateSpecification,
+    build_specification,
+)
+from repro.sim.host import SchedulerConfig
+
+#: Default nicknames of the two state machines.
+DRIVER = "driver"
+OBSERVER = "observer"
+
+#: Name of the fault carried by the observer.
+TOGGLE_FAULT = "fstate"
+
+
+def driver_state_machine_spec(
+    name: str = DRIVER, observer: str = OBSERVER
+) -> StateMachineSpecification:
+    """State machine of the driver: alternates IDLE and ACTIVE, then exits."""
+    states = [
+        StateSpecification(
+            name="IDLE",
+            notify=(observer,),
+            transitions={"GO_ACTIVE": "ACTIVE", "DONE": "EXIT"},
+        ),
+        StateSpecification(
+            name="ACTIVE",
+            notify=(observer,),
+            transitions={"GO_IDLE": "IDLE", "DONE": "EXIT"},
+        ),
+        StateSpecification(name="EXIT", notify=(observer,), transitions={}),
+    ]
+    return build_specification(
+        name,
+        ("BEGIN", "IDLE", "ACTIVE", "EXIT"),
+        ("GO_ACTIVE", "GO_IDLE", "DONE"),
+        states,
+    )
+
+
+def observer_state_machine_spec(name: str = OBSERVER) -> StateMachineSpecification:
+    """State machine of the observer: READY for the whole experiment."""
+    states = [
+        StateSpecification(name="READY", notify=(), transitions={"DONE": "EXIT"}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, ("BEGIN", "READY", "EXIT"), ("DONE",), states)
+
+
+def toggle_fault_specification(
+    driver: str = DRIVER, observer: str = OBSERVER
+) -> FaultSpecification:
+    """``fstate ((driver:ACTIVE) & (observer:READY)) always``."""
+    return FaultSpecification.from_definitions(
+        [
+            FaultDefinition(
+                name=TOGGLE_FAULT,
+                expression=And(StateAtom(driver, "ACTIVE"), StateAtom(observer, "READY")),
+                trigger=FaultTrigger.ALWAYS,
+            )
+        ]
+    )
+
+
+@dataclass
+class ToggleParameters:
+    """Workload parameters for one Figure 3.2/3.3 data point."""
+
+    dwell_time: float = 0.010
+    idle_time: float = 0.030
+    cycles: int = 10
+    start_delay: float = 0.010
+
+
+class ToggleDriverApplication(LokiApplication):
+    """Drives the ACTIVE/IDLE cycle with a fixed dwell time."""
+
+    def __init__(self, parameters: ToggleParameters | None = None) -> None:
+        self.parameters = parameters or ToggleParameters()
+        self._remaining = self.parameters.cycles
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("IDLE")
+        ctx.set_timer(self.parameters.start_delay, self._go_active, ctx)
+
+    def _go_active(self, ctx: NodeContext) -> None:
+        if not ctx.alive:
+            return
+        if self._remaining <= 0:
+            ctx.notify_event("DONE")
+            ctx.exit()
+            return
+        self._remaining -= 1
+        ctx.notify_event("GO_ACTIVE")
+        ctx.set_timer(self.parameters.dwell_time, self._go_idle, ctx)
+
+    def _go_idle(self, ctx: NodeContext) -> None:
+        if not ctx.alive:
+            return
+        ctx.notify_event("GO_IDLE")
+        ctx.set_timer(self.parameters.idle_time, self._go_active, ctx)
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        """The driver carries no faults; injections are recorded only."""
+
+
+class ToggleObserverApplication(LokiApplication):
+    """Sits in READY and receives the injections; never crashes."""
+
+    def __init__(self, run_duration: float = 1.0) -> None:
+        self.run_duration = run_duration
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("READY")
+        ctx.set_timer(self.run_duration, self._finish, ctx)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive:
+            ctx.notify_event("DONE")
+            ctx.exit()
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        """Record-only injection: the observation is the injection record itself."""
+
+
+def build_toggle_study(
+    name: str,
+    dwell_time: float,
+    timeslice: float = 0.010,
+    cycles: int = 10,
+    experiments: int = 5,
+    design: RuntimeDesign | None = None,
+    hosts: tuple[str, str] = ("hosta", "hostb"),
+    seed: int = 0,
+) -> StudyConfig:
+    """One data point of Figure 3.2/3.3: a dwell-time / timeslice combination."""
+    parameters = ToggleParameters(dwell_time=dwell_time, cycles=cycles)
+    run_duration = parameters.start_delay + cycles * (dwell_time + parameters.idle_time) + 0.2
+    # The figure-3.x hosts are busy (the application competes with other
+    # runnable processes), so a woken process almost always waits for the CPU.
+    scheduler = SchedulerConfig(timeslice=timeslice, immediate_probability=0.1)
+    nodes = [
+        NodeDefinition(
+            nickname=DRIVER,
+            specification=driver_state_machine_spec(),
+            faults=FaultSpecification(),
+            application_factory=lambda parameters=parameters: ToggleDriverApplication(parameters),
+            start_host=hosts[0],
+        ),
+        NodeDefinition(
+            nickname=OBSERVER,
+            specification=observer_state_machine_spec(),
+            faults=toggle_fault_specification(),
+            application_factory=lambda run_duration=run_duration: ToggleObserverApplication(
+                run_duration
+            ),
+            start_host=hosts[1],
+        ),
+    ]
+    return StudyConfig(
+        name=name,
+        hosts=[HostConfig(name=host, scheduler=scheduler) for host in hosts],
+        nodes=nodes,
+        experiments=experiments,
+        design=design or RuntimeDesign.original(),
+        restart_policy=RestartPolicy(enabled=False),
+        watchdog=WatchdogConfig(enabled=True, interval=0.2, timeout=0.8),
+        experiment_timeout=run_duration + 1.0,
+        default_scheduler=scheduler,
+        seed=seed,
+    )

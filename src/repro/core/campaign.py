@@ -1,0 +1,355 @@
+"""Campaigns, studies, and experiments (Section 2.2.3) and their execution.
+
+The fault-injection process is organized into *campaigns*, each made of
+*studies*, each made of repeated *experiments*.  A study fixes the state
+machine specifications, fault specifications, node placement, runtime
+design, and application arguments; an experiment is one run of the
+distributed application with the study's fault injections.
+
+:class:`CampaignRunner` executes campaigns on the simulated substrate: for
+every experiment it builds a fresh environment (hosts with their own clocks
+and schedulers), runs the pre-experiment synchronization mini-phase, starts
+the daemons and the state machines named in the node file, lets the
+experiment run to completion (or timeout), runs the post-experiment
+synchronization mini-phase, and collects the local timelines and timestamp
+records for the analysis phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.analysis.clock_sync import SyncMessageRecord
+from repro.core.runtime.context import (
+    ExperimentContext,
+    NodeDefinition,
+    RestartPolicy,
+    WatchdogConfig,
+)
+from repro.core.runtime.daemons import CentralDaemonProcess, LocalDaemonProcess
+from repro.core.runtime.designs import DaemonPlacement, RuntimeDesign
+from repro.core.runtime.syncphase import SyncPhaseConfig, run_sync_phase
+from repro.core.specs.fault_spec import FaultSpecification
+from repro.core.timeline import LocalTimeline
+from repro.errors import RuntimeConfigurationError
+from repro.sim.clock import ClockParameters
+from repro.sim.environment import Environment
+from repro.sim.host import SchedulerConfig
+from repro.sim.network import IPC_PROFILE, LAN_TCP_PROFILE, LinkProfile
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """One host of the experiment testbed.
+
+    ``clock=None`` asks the runner to draw a realistic offset/drift for the
+    host from the experiment seed (so that the offline clock
+    synchronization has something to estimate); ``scheduler=None`` uses the
+    study's default scheduler.
+    """
+
+    name: str
+    clock: ClockParameters | None = None
+    scheduler: SchedulerConfig | None = None
+
+
+@dataclass(frozen=True)
+class ClockGenerationConfig:
+    """How random host clocks are drawn when a host does not pin its clock."""
+
+    max_offset: float = 0.005
+    max_drift_ppm: float = 100.0
+    granularity: float = 0.0
+
+
+@dataclass
+class StudyConfig:
+    """One study: fixed specifications, placement, and runtime parameters."""
+
+    name: str
+    hosts: list[HostConfig]
+    nodes: list[NodeDefinition]
+    experiments: int = 10
+    design: RuntimeDesign = field(default_factory=RuntimeDesign.enhanced)
+    experiment_timeout: float = 5.0
+    restart_policy: RestartPolicy = field(default_factory=RestartPolicy)
+    watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
+    sync: SyncPhaseConfig = field(default_factory=SyncPhaseConfig)
+    default_scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    clock_generation: ClockGenerationConfig = field(default_factory=ClockGenerationConfig)
+    ipc_profile: LinkProfile = IPC_PROFILE
+    lan_profile: LinkProfile = LAN_TCP_PROFILE
+    seed: int = 0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise RuntimeConfigurationError(f"study {self.name!r} has no hosts")
+        if not self.nodes:
+            raise RuntimeConfigurationError(f"study {self.name!r} has no nodes")
+        nicknames = [node.nickname for node in self.nodes]
+        if len(set(nicknames)) != len(nicknames):
+            raise RuntimeConfigurationError(
+                f"study {self.name!r} has duplicate state machine nicknames: {nicknames}"
+            )
+        host_names = [host.name for host in self.hosts]
+        if len(set(host_names)) != len(host_names):
+            raise RuntimeConfigurationError(
+                f"study {self.name!r} has duplicate host names: {host_names}"
+            )
+
+    @property
+    def host_names(self) -> tuple[str, ...]:
+        """The machines file of the study."""
+        return tuple(host.name for host in self.hosts)
+
+    def node_definitions(self) -> dict[str, NodeDefinition]:
+        """Node definitions keyed by nickname."""
+        return {node.nickname: node for node in self.nodes}
+
+    def fault_specifications(self) -> dict[str, FaultSpecification]:
+        """Fault specification of every state machine, keyed by nickname."""
+        return {node.nickname: node.faults for node in self.nodes}
+
+    def with_experiments(self, experiments: int) -> "StudyConfig":
+        """A copy of the study with a different experiment count."""
+        return replace(self, experiments=experiments)
+
+
+@dataclass
+class CampaignConfig:
+    """A campaign: a named collection of studies over one system."""
+
+    name: str
+    studies: list[StudyConfig]
+
+    def __post_init__(self) -> None:
+        names = [study.name for study in self.studies]
+        if len(set(names)) != len(names):
+            raise RuntimeConfigurationError(f"campaign {self.name!r} has duplicate study names")
+
+    def study(self, name: str) -> StudyConfig:
+        """Look up a study by name."""
+        for study in self.studies:
+            if study.name == name:
+                return study
+        raise RuntimeConfigurationError(f"campaign {self.name!r} has no study named {name!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything collected from one experiment run."""
+
+    study: str
+    index: int
+    seed: int
+    local_timelines: dict[str, LocalTimeline]
+    sync_messages: list[SyncMessageRecord]
+    hosts: tuple[str, ...]
+    reference_host: str
+    host_clock_parameters: dict[str, ClockParameters]
+    completed: bool
+    aborted: bool
+    abort_reason: str | None
+    duration: float
+    stats: dict[str, int]
+
+    @property
+    def machines(self) -> tuple[str, ...]:
+        """Nicknames of the machines that produced timelines."""
+        return tuple(self.local_timelines)
+
+
+@dataclass
+class StudyResult:
+    """The experiments of one study."""
+
+    config: StudyConfig
+    experiments: list[ExperimentResult] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """The study's name."""
+        return self.config.name
+
+    def completed_experiments(self) -> list[ExperimentResult]:
+        """Experiments that ran to completion (not aborted or timed out)."""
+        return [experiment for experiment in self.experiments if experiment.completed]
+
+
+@dataclass
+class CampaignResult:
+    """The results of every study of a campaign."""
+
+    config: CampaignConfig
+    studies: dict[str, StudyResult] = field(default_factory=dict)
+
+    def study(self, name: str) -> StudyResult:
+        """Look up a study's results by name."""
+        return self.studies[name]
+
+    def all_experiments(self) -> list[ExperimentResult]:
+        """Every experiment of every study."""
+        experiments: list[ExperimentResult] = []
+        for study in self.studies.values():
+            experiments.extend(study.experiments)
+        return experiments
+
+
+class CampaignRunner:
+    """Executes campaigns (the runtime phase) on the simulated substrate."""
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+
+    def run(self) -> CampaignResult:
+        """Run every experiment of every study of the campaign."""
+        result = CampaignResult(config=self.config)
+        for study in self.config.studies:
+            result.studies[study.name] = self.run_study(study)
+        return result
+
+    def run_study(self, study: StudyConfig) -> StudyResult:
+        """Run every experiment of one study."""
+        result = StudyResult(config=study)
+        for index in range(study.experiments):
+            result.experiments.append(self.run_experiment(study, index))
+        return result
+
+    # -- one experiment ----------------------------------------------------------------
+
+    def run_experiment(self, study: StudyConfig, index: int) -> ExperimentResult:
+        """Run a single experiment of a study and collect its raw results."""
+        seed = self._experiment_seed(study, index)
+        environment = Environment(
+            seed=seed,
+            default_scheduler=study.default_scheduler,
+            ipc_profile=study.ipc_profile,
+            lan_profile=study.lan_profile,
+        )
+        clock_parameters = self._build_hosts(environment, study, seed)
+        reference = max(
+            sorted(clock_parameters), key=lambda host: clock_parameters[host].rate
+        )
+
+        context = ExperimentContext(
+            environment=environment,
+            design=study.design,
+            node_definitions=study.node_definitions(),
+            hosts=study.host_names,
+            restart_policy=study.restart_policy,
+            watchdog=study.watchdog,
+            experiment_timeout=study.experiment_timeout,
+        )
+
+        sync_messages: list[SyncMessageRecord] = []
+        sync_messages.extend(
+            run_sync_phase(environment, reference, study.host_names, study.sync)
+        )
+
+        start_time = environment.kernel.now
+        self._spawn_daemons(environment, context)
+        environment.spawn(CentralDaemonProcess(context), study.host_names[0])
+        self._run_until_complete(environment, context, study)
+        duration = environment.kernel.now - start_time
+
+        sync_messages.extend(
+            run_sync_phase(environment, reference, study.host_names, study.sync)
+        )
+
+        return ExperimentResult(
+            study=study.name,
+            index=index,
+            seed=seed,
+            local_timelines=context.timeline_store.timelines(),
+            sync_messages=sync_messages,
+            hosts=study.host_names,
+            reference_host=reference,
+            host_clock_parameters=clock_parameters,
+            completed=context.experiment_complete and not context.experiment_aborted,
+            aborted=context.experiment_aborted,
+            abort_reason=context.abort_reason,
+            duration=duration,
+            stats=dict(context.stats),
+        )
+
+    # -- helpers --------------------------------------------------------------------------
+
+    @staticmethod
+    def _experiment_seed(study: StudyConfig, index: int) -> int:
+        return RandomStreams(study.seed)._derive(f"experiment:{study.name}:{index}")
+
+    @staticmethod
+    def _build_hosts(
+        environment: Environment, study: StudyConfig, seed: int
+    ) -> dict[str, ClockParameters]:
+        clock_rng = RandomStreams(seed).stream("host-clocks")
+        generation = study.clock_generation
+        parameters: dict[str, ClockParameters] = {}
+        for host in study.hosts:
+            if host.clock is not None:
+                clock = host.clock
+            else:
+                offset = clock_rng.uniform(-generation.max_offset, generation.max_offset)
+                drift = clock_rng.uniform(-generation.max_drift_ppm, generation.max_drift_ppm)
+                clock = ClockParameters(
+                    offset=offset,
+                    rate=1.0 + drift * 1e-6,
+                    granularity=generation.granularity,
+                )
+            parameters[host.name] = clock
+            environment.add_host(host.name, clock=clock, scheduler=host.scheduler)
+        return parameters
+
+    @staticmethod
+    def _spawn_daemons(environment: Environment, context: ExperimentContext) -> None:
+        design = context.design
+        if design.placement is DaemonPlacement.CENTRALIZED:
+            environment.spawn(
+                LocalDaemonProcess(context, context.hosts[0]), context.hosts[0]
+            )
+        elif design.placement is DaemonPlacement.PARTIALLY_DISTRIBUTED:
+            for host in context.hosts:
+                environment.spawn(LocalDaemonProcess(context, host), host)
+        else:
+            for nickname in context.node_definitions:
+                host = context.daemon_host_for(nickname)
+                environment.spawn(
+                    LocalDaemonProcess(context, host, served_machine=nickname), host
+                )
+
+    @staticmethod
+    def _run_until_complete(
+        environment: Environment, context: ExperimentContext, study: StudyConfig
+    ) -> None:
+        # The central daemon's timeout timer guarantees eventual completion;
+        # the hard event cap below is a backstop against runaway applications
+        # that generate unbounded numbers of events within the timeout.
+        max_events = 5_000_000
+        processed = 0
+        while not context.experiment_complete and processed < max_events:
+            if not environment.kernel.step():
+                break
+            processed += 1
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Convenience wrapper: run a whole campaign with default settings."""
+    return CampaignRunner(config).run()
+
+
+def run_single_study(study: StudyConfig) -> StudyResult:
+    """Convenience wrapper: run one study outside a campaign."""
+    return CampaignRunner(CampaignConfig(name=f"campaign-{study.name}", studies=[study])).run_study(
+        study
+    )
+
+
+def merge_study_results(results: Iterable[StudyResult]) -> list[ExperimentResult]:
+    """Flatten several study results into one experiment list."""
+    experiments: list[ExperimentResult] = []
+    for result in results:
+        experiments.extend(result.experiments)
+    return experiments

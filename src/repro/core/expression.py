@@ -1,0 +1,269 @@
+"""Boolean fault expressions over ``(StateMachine:State)`` atoms.
+
+Section 3.5.5 defines the fault-specification expression language: atoms of
+the form ``(SM:STATE)`` combined with AND (``&``), OR (``|``), and NOT
+(``~``) operators, for example::
+
+    ((SM1:ELECT) & (SM2:FOLLOW))
+
+An expression is evaluated against a *partial view of the global state*,
+i.e. a mapping from state-machine nickname to that machine's last known
+state.  A machine missing from the view (because it has not started or has
+not yet notified) makes its atoms evaluate to false.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import ExpressionError
+
+
+class Expression(ABC):
+    """Abstract Boolean expression over state-machine states."""
+
+    @abstractmethod
+    def evaluate(self, view: Mapping[str, str]) -> bool:
+        """Evaluate against a partial view of the global state."""
+
+    @abstractmethod
+    def machines(self) -> frozenset[str]:
+        """Nicknames of every state machine the expression references."""
+
+    @abstractmethod
+    def atoms(self) -> frozenset["StateAtom"]:
+        """Every ``(machine, state)`` atom appearing in the expression."""
+
+    @abstractmethod
+    def to_text(self) -> str:
+        """Render in the paper's textual syntax (round-trips with the parser)."""
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+@dataclass(frozen=True)
+class StateAtom(Expression):
+    """The atom ``(machine:state)``: true when ``machine`` is in ``state``."""
+
+    machine: str
+    state: str
+
+    def evaluate(self, view: Mapping[str, str]) -> bool:
+        return view.get(self.machine) == self.state
+
+    def machines(self) -> frozenset[str]:
+        return frozenset({self.machine})
+
+    def atoms(self) -> frozenset["StateAtom"]:
+        return frozenset({self})
+
+    def to_text(self) -> str:
+        return f"({self.machine}:{self.state})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation."""
+
+    operand: Expression
+
+    def evaluate(self, view: Mapping[str, str]) -> bool:
+        return not self.operand.evaluate(view)
+
+    def machines(self) -> frozenset[str]:
+        return self.operand.machines()
+
+    def atoms(self) -> frozenset[StateAtom]:
+        return self.operand.atoms()
+
+    def to_text(self) -> str:
+        return f"~{self.operand.to_text()}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Logical conjunction of two operands."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, view: Mapping[str, str]) -> bool:
+        return self.left.evaluate(view) and self.right.evaluate(view)
+
+    def machines(self) -> frozenset[str]:
+        return self.left.machines() | self.right.machines()
+
+    def atoms(self) -> frozenset[StateAtom]:
+        return self.left.atoms() | self.right.atoms()
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()} & {self.right.to_text()})"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Logical disjunction of two operands."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, view: Mapping[str, str]) -> bool:
+        return self.left.evaluate(view) or self.right.evaluate(view)
+
+    def machines(self) -> frozenset[str]:
+        return self.left.machines() | self.right.machines()
+
+    def atoms(self) -> frozenset[StateAtom]:
+        return self.left.atoms() | self.right.atoms()
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()} | {self.right.to_text()})"
+
+
+def conjunction(operands: list[Expression]) -> Expression:
+    """Build a left-associated AND of all operands (at least one required)."""
+    if not operands:
+        raise ExpressionError("conjunction requires at least one operand")
+    result = operands[0]
+    for operand in operands[1:]:
+        result = And(result, operand)
+    return result
+
+
+def disjunction(operands: list[Expression]) -> Expression:
+    """Build a left-associated OR of all operands (at least one required)."""
+    if not operands:
+        raise ExpressionError("disjunction requires at least one operand")
+    result = operands[0]
+    for operand in operands[1:]:
+        result = Or(result, operand)
+    return result
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<lparen>\() |
+    (?P<rparen>\)) |
+    (?P<and>&) |
+    (?P<or>\|) |
+    (?P<not>~) |
+    (?P<atom>[A-Za-z_][\w.\-]*\s*:\s*[A-Za-z_][\w.\-]*) |
+    (?P<ws>\s+) |
+    (?P<error>.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    for match in _TOKEN_PATTERN.finditer(text):
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        if kind == "error":
+            raise ExpressionError(
+                f"unexpected character {match.group()!r} at position {match.start()} in {text!r}"
+            )
+        yield _Token(kind, match.group(), match.start())
+
+
+class _Parser:
+    """Recursive-descent parser: ``or`` has lowest precedence, then ``and``, then ``not``."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def parse(self) -> Expression:
+        if not self._tokens:
+            raise ExpressionError("empty fault expression")
+        expression = self._parse_or()
+        if self._index != len(self._tokens):
+            token = self._tokens[self._index]
+            raise ExpressionError(
+                f"unexpected token {token.text!r} at position {token.position} in {self._text!r}"
+            )
+        return expression
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of expression in {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise ExpressionError(
+                f"expected {kind} but found {token.text!r} at position {token.position} "
+                f"in {self._text!r}"
+            )
+        return token
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "or":
+                return left
+            self._advance()
+            left = Or(left, self._parse_and())
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "and":
+                return left
+            self._advance()
+            left = And(left, self._parse_unary())
+
+    def _parse_unary(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of expression in {self._text!r}")
+        if token.kind == "not":
+            self._advance()
+            return Not(self._parse_unary())
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._parse_or()
+            self._expect("rparen")
+            return inner
+        if token.kind == "atom":
+            self._advance()
+            machine, _, state = token.text.partition(":")
+            return StateAtom(machine.strip(), state.strip())
+        raise ExpressionError(
+            f"unexpected token {token.text!r} at position {token.position} in {self._text!r}"
+        )
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse the paper's fault-expression syntax into an :class:`Expression`.
+
+    Examples
+    --------
+    >>> parse_expression("((SM1:ELECT) & (SM2:FOLLOW))").evaluate(
+    ...     {"SM1": "ELECT", "SM2": "FOLLOW"})
+    True
+    """
+    return _Parser(text).parse()

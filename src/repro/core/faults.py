@@ -1,0 +1,98 @@
+"""The fault parser runtime component (Section 3.5.5).
+
+On every change of the partial view of the global state, the fault parser
+re-evaluates all Boolean fault expressions.  For each expression whose value
+transitions from false to true (the parser is positive-edge-triggered), it
+instructs the probe to inject the corresponding fault — subject to the
+fault's ``once``/``always`` trigger — and records the injection time
+returned by the probe on the local timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.probe import Probe
+from repro.core.recorder import Recorder
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification
+
+
+@dataclass(frozen=True)
+class InjectionRequest:
+    """The outcome of one fault firing: which fault, and when it was injected."""
+
+    fault: FaultDefinition
+    injection_time: float
+
+
+class FaultParser:
+    """Evaluates fault expressions against the partial view of global state."""
+
+    def __init__(
+        self,
+        faults: FaultSpecification,
+        probe: Probe | None = None,
+        recorder: Recorder | None = None,
+    ) -> None:
+        self._faults = faults
+        self._probe = probe
+        self._recorder = recorder
+        self._previous: dict[str, bool] = {fault.name: False for fault in faults}
+        self._fired: set[str] = set()
+        self.injections: list[InjectionRequest] = []
+
+    @property
+    def faults(self) -> FaultSpecification:
+        """The fault specification being evaluated."""
+        return self._faults
+
+    def attach_probe(self, probe: Probe) -> None:
+        """Late-bind the probe (the runtime wires components in two steps)."""
+        self._probe = probe
+
+    def attach_recorder(self, recorder: Recorder) -> None:
+        """Late-bind the recorder."""
+        self._recorder = recorder
+
+    def expression_values(self, view: Mapping[str, str]) -> dict[str, bool]:
+        """Evaluate every fault expression against ``view`` (no side effects)."""
+        return {fault.name: fault.evaluate(view) for fault in self._faults}
+
+    def fired(self, fault_name: str) -> bool:
+        """Whether a fault has fired at least once in this experiment."""
+        return fault_name in self._fired
+
+    def reset(self) -> None:
+        """Forget all edge and firing history (used between experiments)."""
+        self._previous = {fault.name: False for fault in self._faults}
+        self._fired.clear()
+        self.injections.clear()
+
+    def on_view_change(self, view: Mapping[str, str]) -> list[InjectionRequest]:
+        """Re-evaluate all expressions after a partial-view change.
+
+        Returns the injections performed as a result of this change (also
+        accumulated on :attr:`injections`).
+        """
+        performed: list[InjectionRequest] = []
+        for fault in self._faults:
+            current = fault.evaluate(view)
+            previous = self._previous[fault.name]
+            if fault.should_fire(previous, current, fault.name in self._fired):
+                self._fired.add(fault.name)
+                injection_time = self._inject(fault)
+                request = InjectionRequest(fault=fault, injection_time=injection_time)
+                performed.append(request)
+                self.injections.append(request)
+            self._previous[fault.name] = current
+        return performed
+
+    def _inject(self, fault: FaultDefinition) -> float:
+        if self._probe is None:
+            injection_time = self._recorder.now() if self._recorder is not None else 0.0
+        else:
+            injection_time = self._probe.inject_fault(fault.name)
+        if self._recorder is not None:
+            self._recorder.record_fault_injection(fault.name, time=injection_time)
+        return injection_time

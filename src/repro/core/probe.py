@@ -1,0 +1,90 @@
+"""The probe: the system-dependent part of the Loki runtime (Section 3.5.7).
+
+The probe is written by the user while instrumenting the system under
+study.  It has exactly two jobs:
+
+* notify the state machine of local events occurring in the application
+  (:meth:`Probe.notify_event`), and
+* perform the actual fault injection when the fault parser asks for it
+  (:meth:`Probe.inject_fault`), returning the local time of injection.
+
+The example applications in :mod:`repro.apps` each ship a concrete probe;
+:class:`CallbackProbe` is a convenience wrapper for tests and small scripts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import RuntimePhaseError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.statemachine import StateMachine
+
+
+class Probe(ABC):
+    """Base class for application probes."""
+
+    def __init__(self) -> None:
+        self._state_machine: "StateMachine | None" = None
+
+    def attach(self, state_machine: "StateMachine") -> None:
+        """Bind the probe to the node's state machine (done by the runtime)."""
+        self._state_machine = state_machine
+
+    @property
+    def state_machine(self) -> "StateMachine":
+        """The state machine this probe notifies."""
+        if self._state_machine is None:
+            raise RuntimePhaseError("probe is not attached to a state machine")
+        return self._state_machine
+
+    def notify_event(self, name: str) -> None:
+        """Notify the state machine of a local event.
+
+        The very first notification is interpreted as the node's initial
+        state rather than an event (Section 3.5.7).
+        """
+        self.state_machine.notify_event(name)
+
+    @abstractmethod
+    def inject_fault(self, fault_name: str) -> float:
+        """Perform the actual injection of ``fault_name``.
+
+        Must return the local-clock time at which the fault was injected;
+        the fault parser hands this time to the recorder.
+        """
+
+    def notify_on_crash(self) -> None:
+        """Tell the runtime the node is crashing (overridden signal handler)."""
+        self.state_machine.notify_on_crash()
+
+    def notify_on_exit(self) -> None:
+        """Tell the runtime the node is exiting cleanly."""
+        self.state_machine.notify_on_exit()
+
+
+class CallbackProbe(Probe):
+    """A probe whose injection behaviour is a plain callable.
+
+    Parameters
+    ----------
+    injector:
+        Called as ``injector(fault_name)`` to perform the injection.  If it
+        returns a number, that is used as the injection time; otherwise the
+        state machine's clock is read after the callable returns.
+    """
+
+    def __init__(self, injector: Callable[[str], float | None] | None = None) -> None:
+        super().__init__()
+        self._injector = injector
+        self.injected: list[tuple[str, float]] = []
+
+    def inject_fault(self, fault_name: str) -> float:
+        result: float | None = None
+        if self._injector is not None:
+            result = self._injector(fault_name)
+        time = float(result) if result is not None else self.state_machine.read_clock()
+        self.injected.append((fault_name, time))
+        return time

@@ -1,0 +1,66 @@
+"""The recorder runtime component (Section 3.5.6).
+
+The recorder stamps local state changes and fault injections with the local
+hardware clock and appends them to the node's :class:`LocalTimeline`.  It is
+deliberately thin — keeping recording cheap is what keeps the runtime's
+intrusion low — and all interpretation happens later, in the analysis phase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.timeline import LocalTimeline, TimelineRecord
+
+
+class Recorder:
+    """Records state changes and fault injections on a local timeline."""
+
+    def __init__(
+        self,
+        timeline: LocalTimeline,
+        clock: Callable[[], float],
+        host: Callable[[], str] | str,
+    ) -> None:
+        self._timeline = timeline
+        self._clock = clock
+        if callable(host):
+            self._host = host
+        else:
+            self._host = lambda fixed=host: fixed
+
+    @property
+    def timeline(self) -> LocalTimeline:
+        """The local timeline being written."""
+        return self._timeline
+
+    def now(self) -> float:
+        """Read the local clock used for stamping records."""
+        return self._clock()
+
+    def current_host(self) -> str:
+        """The host the node is currently executing on."""
+        return self._host()
+
+    def record_state_change(
+        self, event: str, new_state: str, time: float | None = None
+    ) -> TimelineRecord:
+        """Record a local state change (stamped now unless ``time`` is given)."""
+        return self._timeline.add_state_change(
+            event=event,
+            new_state=new_state,
+            time=self._clock() if time is None else time,
+            host=self._host(),
+        )
+
+    def record_fault_injection(self, fault: str, time: float | None = None) -> TimelineRecord:
+        """Record a fault injection (stamped now unless ``time`` is given)."""
+        return self._timeline.add_fault_injection(
+            fault=fault,
+            time=self._clock() if time is None else time,
+            host=self._host(),
+        )
+
+    def record_note(self, text: str) -> None:
+        """Attach a free-form user message to the timeline."""
+        self._timeline.add_note(text)

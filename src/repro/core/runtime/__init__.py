@@ -1,0 +1,39 @@
+"""The Loki runtime architectures of Chapter 3.
+
+This package contains everything that executes during the runtime phase of
+an experiment: the node process that glues the application to the Loki
+components, the state-machine transports, the local and central daemons of
+the enhanced (partially distributed) architecture, the alternative design
+choices of Section 3.4 used by the ablation benchmark, and the
+synchronization-message mini-phases run before and after every experiment.
+"""
+
+from repro.core.runtime.application import ApplicationProbe, LokiApplication, NodeContext
+from repro.core.runtime.context import ExperimentContext, TimelineStore
+from repro.core.runtime.daemons import CentralDaemonProcess, LocalDaemonProcess
+from repro.core.runtime.designs import CommunicationMode, DaemonPlacement, RuntimeDesign
+from repro.core.runtime.node import LokiNodeProcess
+from repro.core.runtime.transport import (
+    DaemonRoutedTransport,
+    DirectTransport,
+    LoopbackTransport,
+    StateMachineTransport,
+)
+
+__all__ = [
+    "ApplicationProbe",
+    "CentralDaemonProcess",
+    "CommunicationMode",
+    "DaemonPlacement",
+    "DaemonRoutedTransport",
+    "DirectTransport",
+    "ExperimentContext",
+    "LocalDaemonProcess",
+    "LokiApplication",
+    "LokiNodeProcess",
+    "LoopbackTransport",
+    "NodeContext",
+    "RuntimeDesign",
+    "StateMachineTransport",
+    "TimelineStore",
+]

@@ -1,0 +1,113 @@
+"""The runtime design choices of Section 3.4.
+
+Three high-level designs were considered for the enhanced runtime,
+distinguished by how many daemons exist and which nodes each one serves:
+
+* **centralized** — a single global daemon serves every node over TCP/IP;
+* **partially distributed** — one daemon per host, serving the nodes on
+  that host over IPC (the design chosen for the enhanced runtime);
+* **fully distributed** — one daemon per node, attached over IPC.
+
+Orthogonally, state machines either exchange notifications *through the
+daemons* or *directly* with each other.  The enhanced Loki runtime is the
+partially distributed design with communication through the daemons; the
+other combinations are implemented so the design comparison can be
+reproduced quantitatively (benchmark ``TAB-3.4``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DaemonPlacement(enum.Enum):
+    """How many daemons the design uses and what each one serves."""
+
+    CENTRALIZED = "centralized"
+    PARTIALLY_DISTRIBUTED = "partially_distributed"
+    FULLY_DISTRIBUTED = "fully_distributed"
+
+
+class CommunicationMode(enum.Enum):
+    """Whether notifications travel through daemons or directly between nodes."""
+
+    VIA_DAEMON = "via_daemon"
+    DIRECT = "direct"
+
+
+@dataclass(frozen=True)
+class RuntimeDesign:
+    """One point of the Section 3.4 design space."""
+
+    placement: DaemonPlacement
+    communication: CommunicationMode
+
+    # -- the named designs discussed in the paper -----------------------------
+
+    @classmethod
+    def enhanced(cls) -> "RuntimeDesign":
+        """The design chosen for the enhanced runtime (Section 3.5)."""
+        return cls(DaemonPlacement.PARTIALLY_DISTRIBUTED, CommunicationMode.VIA_DAEMON)
+
+    @classmethod
+    def original(cls) -> "RuntimeDesign":
+        """The original runtime: static membership, direct TCP between machines."""
+        return cls(DaemonPlacement.PARTIALLY_DISTRIBUTED, CommunicationMode.DIRECT)
+
+    @classmethod
+    def all_designs(cls) -> tuple["RuntimeDesign", ...]:
+        """Every placement/communication combination, for the ablation."""
+        return tuple(
+            cls(placement, communication)
+            for placement in DaemonPlacement
+            for communication in CommunicationMode
+        )
+
+    # -- properties the runtime and the ablation rely on -----------------------
+
+    @property
+    def via_daemon(self) -> bool:
+        """Whether notifications are routed through daemons."""
+        return self.communication is CommunicationMode.VIA_DAEMON
+
+    @property
+    def supports_dynamic_hosts(self) -> bool:
+        """Whether new hosts can join during an experiment (centralized only)."""
+        return self.placement is DaemonPlacement.CENTRALIZED
+
+    @property
+    def supports_dynamic_nodes(self) -> bool:
+        """Whether nodes may enter/exit dynamically and restart on other hosts.
+
+        The fully distributed design has a static node list, so a crashed
+        node can only restart on the same host; the paper rejects it for
+        that reason.
+        """
+        return self.placement is not DaemonPlacement.FULLY_DISTRIBUTED
+
+    def daemon_name(self, host: str, machine: str | None = None) -> str:
+        """The process name of the daemon serving ``machine`` on ``host``."""
+        if self.placement is DaemonPlacement.CENTRALIZED:
+            return CENTRAL_ROUTER_NAME
+        if self.placement is DaemonPlacement.FULLY_DISTRIBUTED:
+            if machine is None:
+                raise ValueError("fully distributed design requires a machine name")
+            return f"lokid.{machine}"
+        return f"lokid@{host}"
+
+    def describe(self) -> str:
+        """Human-readable name used in benchmark output."""
+        return f"{self.placement.value}/{self.communication.value}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+#: Process name of the central daemon (experiment manager).
+CENTRAL_DAEMON_NAME = "loki-central"
+
+#: Process name of the single routing daemon of the centralized design.  The
+#: experiment-managing central daemon is a separate process in every design,
+#: so the centralized design's global router gets its own name.
+CENTRAL_ROUTER_NAME = "lokid-global"

@@ -1,0 +1,145 @@
+"""Fault specifications (Section 3.5.5).
+
+Each entry of a fault specification has the form::
+
+    <FaultName> <BooleanFaultExpression> <once|always>
+
+for example::
+
+    F1 ((SM1:ELECT) & (SM2:FOLLOW)) always
+
+The fault ``F1`` is injected whenever the Boolean expression transitions
+from false to true because of a change in the partial view of the global
+state.  ``once`` restricts the injection to the first such transition of
+the experiment; ``always`` injects on every such transition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.expression import Expression, parse_expression
+from repro.errors import SpecificationError
+
+
+class FaultTrigger(enum.Enum):
+    """Whether a fault fires on the first matching transition or on every one."""
+
+    ONCE = "once"
+    ALWAYS = "always"
+
+    @classmethod
+    def from_text(cls, text: str) -> "FaultTrigger":
+        """Parse the ``once``/``always`` keyword (case-insensitive)."""
+        normalized = text.strip().lower()
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise SpecificationError(f"fault trigger must be 'once' or 'always', got {text!r}")
+
+
+@dataclass(frozen=True)
+class FaultDefinition:
+    """One fault: a name, a Boolean expression, and a trigger mode."""
+
+    name: str
+    expression: Expression
+    trigger: FaultTrigger = FaultTrigger.ALWAYS
+
+    def should_fire(self, previous: bool, current: bool, already_fired: bool) -> bool:
+        """Positive-edge-triggered firing rule of the fault parser.
+
+        The fault fires only when the expression value transitions from
+        false to true, and — for ``once`` faults — only if it has not fired
+        before in this experiment.
+        """
+        if previous or not current:
+            return False
+        if self.trigger is FaultTrigger.ONCE and already_fired:
+            return False
+        return True
+
+    def evaluate(self, view: Mapping[str, str]) -> bool:
+        """Evaluate the fault expression against a partial view."""
+        return self.expression.evaluate(view)
+
+    def machines(self) -> frozenset[str]:
+        """State machines referenced by the fault expression."""
+        return self.expression.machines()
+
+    def to_text(self) -> str:
+        """Render as one fault-specification line."""
+        return f"{self.name} {self.expression.to_text()} {self.trigger.value}"
+
+
+@dataclass(frozen=True)
+class FaultSpecification:
+    """An ordered collection of fault definitions for one state machine."""
+
+    faults: tuple[FaultDefinition, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [fault.name for fault in self.faults]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate fault names in specification: {names}")
+
+    def __iter__(self) -> Iterator[FaultDefinition]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def names(self) -> tuple[str, ...]:
+        """Fault names in specification order."""
+        return tuple(fault.name for fault in self.faults)
+
+    def get(self, name: str) -> FaultDefinition | None:
+        """Look up a fault by name."""
+        for fault in self.faults:
+            if fault.name == name:
+                return fault
+        return None
+
+    def machines(self) -> frozenset[str]:
+        """All state machines referenced by any fault expression."""
+        result: frozenset[str] = frozenset()
+        for fault in self.faults:
+            result |= fault.machines()
+        return result
+
+    @classmethod
+    def from_definitions(cls, definitions: Iterable[FaultDefinition]) -> "FaultSpecification":
+        """Build a specification from an iterable of definitions."""
+        return cls(faults=tuple(definitions))
+
+
+def parse_fault_specification(text: str) -> FaultSpecification:
+    """Parse a fault-specification file into a :class:`FaultSpecification`.
+
+    One fault per non-empty, non-comment line: the fault name, then the
+    Boolean expression, then ``once`` or ``always``.
+    """
+    definitions: list[FaultDefinition] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) < 3:
+            raise SpecificationError(
+                f"fault specification line {line_number} must be "
+                f"'<name> <expression> <once|always>': {line!r}"
+            )
+        name = tokens[0]
+        trigger = FaultTrigger.from_text(tokens[-1])
+        expression_text = " ".join(tokens[1:-1])
+        expression = parse_expression(expression_text)
+        definitions.append(FaultDefinition(name=name, expression=expression, trigger=trigger))
+    return FaultSpecification.from_definitions(definitions)
+
+
+def format_fault_specification(specification: FaultSpecification) -> str:
+    """Render a fault specification back into the textual format."""
+    return "\n".join(fault.to_text() for fault in specification.faults) + "\n"

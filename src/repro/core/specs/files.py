@@ -1,0 +1,231 @@
+"""Campaign-execution support files (Sections 3.5.1, 3.5.2, and 5.6).
+
+These are the small text files used by the central and local daemons to
+start experiments:
+
+* the **node file** — one line per state machine, ``<SM NickName>
+  [<HostName>]``; machines with a host name are started at the beginning of
+  every experiment, the others only enter dynamically;
+* the **daemon startup file** — ``<HostName> <PortNumber>`` for each local
+  daemon;
+* the **daemon contact file** — ``<HostName> <SharedMemoryID>
+  <SemaphoreID>`` written by the local daemons for the state-machine
+  transports;
+* the **machines file** — one host name per line;
+* the **study file** — the per-state-machine description of one study
+  (nickname, node file, specification files, executable, arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class NodeFileEntry:
+    """One node-file line: a state machine and its optional start-up host."""
+
+    nickname: str
+    host: str | None = None
+
+    @property
+    def starts_at_beginning(self) -> bool:
+        """Machines with a host are started at the beginning of an experiment."""
+        return self.host is not None
+
+    def to_text(self) -> str:
+        """Render as one node-file line."""
+        return self.nickname if self.host is None else f"{self.nickname} {self.host}"
+
+
+def parse_node_file(text: str) -> tuple[NodeFileEntry, ...]:
+    """Parse a node file into entries (one per state machine)."""
+    entries: list[NodeFileEntry] = []
+    seen: set[str] = set()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) > 2:
+            raise SpecificationError(
+                f"node file line {line_number} must be '<nickname> [<host>]': {line!r}"
+            )
+        nickname = tokens[0]
+        if nickname in seen:
+            raise SpecificationError(f"node file lists state machine {nickname!r} twice")
+        seen.add(nickname)
+        host = tokens[1] if len(tokens) == 2 else None
+        entries.append(NodeFileEntry(nickname=nickname, host=host))
+    return tuple(entries)
+
+
+def format_node_file(entries: tuple[NodeFileEntry, ...] | list[NodeFileEntry]) -> str:
+    """Render node-file entries back into the textual format."""
+    return "\n".join(entry.to_text() for entry in entries) + "\n"
+
+
+@dataclass(frozen=True)
+class DaemonStartupEntry:
+    """One daemon-startup-file line: the port of the local daemon on a host."""
+
+    host: str
+    port: int
+
+    def to_text(self) -> str:
+        """Render as one daemon-startup-file line."""
+        return f"{self.host} {self.port}"
+
+
+def parse_daemon_startup_file(text: str) -> tuple[DaemonStartupEntry, ...]:
+    """Parse the daemon startup file (``<HostName> <PortNumber>`` per line)."""
+    entries: list[DaemonStartupEntry] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) != 2:
+            raise SpecificationError(
+                f"daemon startup file line {line_number} must be '<host> <port>': {line!r}"
+            )
+        try:
+            port = int(tokens[1])
+        except ValueError:
+            raise SpecificationError(
+                f"daemon startup file line {line_number}: port must be an integer: {line!r}"
+            ) from None
+        entries.append(DaemonStartupEntry(host=tokens[0], port=port))
+    return tuple(entries)
+
+
+def format_daemon_startup_file(entries) -> str:
+    """Render daemon-startup entries back into the textual format."""
+    return "\n".join(entry.to_text() for entry in entries) + "\n"
+
+
+@dataclass(frozen=True)
+class DaemonContactEntry:
+    """One daemon-contact-file line: how to reach the local daemon on a host."""
+
+    host: str
+    shared_memory_id: int
+    semaphore_id: int
+
+    def to_text(self) -> str:
+        """Render as one daemon-contact-file line."""
+        return f"{self.host} {self.shared_memory_id} {self.semaphore_id}"
+
+
+def parse_daemon_contact_file(text: str) -> tuple[DaemonContactEntry, ...]:
+    """Parse the daemon contact file (``<host> <shm id> <sem id>`` per line)."""
+    entries: list[DaemonContactEntry] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) != 3:
+            raise SpecificationError(
+                f"daemon contact file line {line_number} must be "
+                f"'<host> <shared memory id> <semaphore id>': {line!r}"
+            )
+        try:
+            shared_memory_id = int(tokens[1])
+            semaphore_id = int(tokens[2])
+        except ValueError:
+            raise SpecificationError(
+                f"daemon contact file line {line_number}: identifiers must be integers: {line!r}"
+            ) from None
+        entries.append(
+            DaemonContactEntry(
+                host=tokens[0],
+                shared_memory_id=shared_memory_id,
+                semaphore_id=semaphore_id,
+            )
+        )
+    return tuple(entries)
+
+
+def format_daemon_contact_file(entries) -> str:
+    """Render daemon-contact entries back into the textual format."""
+    return "\n".join(entry.to_text() for entry in entries) + "\n"
+
+
+def parse_machines_file(text: str) -> tuple[str, ...]:
+    """Parse the machines file: one host name per line."""
+    hosts: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line in hosts:
+            raise SpecificationError(f"machines file lists host {line!r} twice")
+        hosts.append(line)
+    return tuple(hosts)
+
+
+def format_machines_file(hosts) -> str:
+    """Render a machines file from an iterable of host names."""
+    return "\n".join(hosts) + "\n"
+
+
+@dataclass(frozen=True)
+class StudyFile:
+    """The per-state-machine study file of Section 5.6.
+
+    Attributes mirror the paper's format: nickname, node file path,
+    state-machine specification file path, fault specification file path,
+    the instrumented application executable path, and the application
+    arguments (which cannot change between experiments of a study).
+    """
+
+    nickname: str
+    node_file: str
+    state_machine_specification_file: str
+    fault_specification_file: str
+    executable: str
+    arguments: tuple[str, ...] = field(default_factory=tuple)
+
+    def to_text(self) -> str:
+        """Render as a study file."""
+        lines = [
+            self.nickname,
+            self.node_file,
+            self.state_machine_specification_file,
+            self.fault_specification_file,
+            self.executable,
+            " ".join(self.arguments),
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def parse_study_file(text: str) -> StudyFile:
+    """Parse a study file (six lines; the last one may be empty)."""
+    lines = [line.rstrip() for line in text.splitlines()]
+    # Drop trailing blank lines but preserve an intentionally empty argument line.
+    while len(lines) > 6 and not lines[-1]:
+        lines.pop()
+    if len(lines) < 5:
+        raise SpecificationError(
+            "study file must contain nickname, node file, state machine specification, "
+            f"fault specification, and executable lines; got {len(lines)} lines"
+        )
+    arguments: tuple[str, ...] = ()
+    if len(lines) >= 6 and lines[5].strip():
+        arguments = tuple(lines[5].split())
+    return StudyFile(
+        nickname=lines[0].strip(),
+        node_file=lines[1].strip(),
+        state_machine_specification_file=lines[2].strip(),
+        fault_specification_file=lines[3].strip(),
+        executable=lines[4].strip(),
+        arguments=arguments,
+    )
+
+
+def format_study_file(study_file: StudyFile) -> str:
+    """Render a :class:`StudyFile` back into the textual format."""
+    return study_file.to_text()

@@ -1,0 +1,196 @@
+"""The state machine runtime component (Section 3.5.3).
+
+One state machine is attached to every node.  It tracks the node's local
+state (driven by probe event notifications and the state-machine
+specification) and the partial view of the global state (driven by remote
+state notifications delivered through the state-machine transport).  On
+every change of the partial view it informs the fault parser, and on every
+local state change it notifies the remote machines listed in the new
+state's ``notify`` clause.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.core.faults import FaultParser
+from repro.core.recorder import Recorder
+from repro.core.specs.state_machine import (
+    DEFAULT_EVENT,
+    INITIAL_STATE,
+    StateMachineSpecification,
+)
+from repro.errors import RuntimePhaseError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.runtime.transport import StateMachineTransport
+
+#: Reserved names used when recording crash and restart transitions.
+CRASH_STATE = "CRASH"
+CRASH_EVENT = "CRASH"
+RESTART_EVENT = "RESTART"
+EXIT_STATE = "EXIT"
+
+
+class StateMachine:
+    """Tracks the local state and the partial view of the global state."""
+
+    def __init__(
+        self,
+        spec: StateMachineSpecification,
+        recorder: Recorder,
+        transport: "StateMachineTransport | None" = None,
+        fault_parser: FaultParser | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self._spec = spec
+        self._recorder = recorder
+        self._transport = transport
+        self._fault_parser = fault_parser
+        self._clock = clock or recorder.now
+        self._current_state = INITIAL_STATE
+        self._initialized = False
+        self._exited = False
+        self._crashed = False
+        self._view: dict[str, str] = {spec.name: INITIAL_STATE}
+        self.ignored_events: list[tuple[str, str]] = []
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The state machine's unique nickname."""
+        return self._spec.name
+
+    @property
+    def spec(self) -> StateMachineSpecification:
+        """The specification this machine follows."""
+        return self._spec
+
+    @property
+    def recorder(self) -> Recorder:
+        """The recorder writing this machine's local timeline."""
+        return self._recorder
+
+    @property
+    def current_state(self) -> str:
+        """The machine's current local state."""
+        return self._current_state
+
+    @property
+    def initialized(self) -> bool:
+        """Whether the first probe notification (initial state) has arrived."""
+        return self._initialized
+
+    @property
+    def exited(self) -> bool:
+        """Whether the machine has exited cleanly."""
+        return self._exited
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the machine has recorded a crash."""
+        return self._crashed
+
+    @property
+    def partial_view(self) -> Mapping[str, str]:
+        """The current partial view of the global state (read-only copy)."""
+        return dict(self._view)
+
+    def read_clock(self) -> float:
+        """Read the local clock used for stamping this machine's records."""
+        return self._clock()
+
+    def attach_transport(self, transport: "StateMachineTransport") -> None:
+        """Late-bind the state-machine transport."""
+        self._transport = transport
+
+    def attach_fault_parser(self, fault_parser: FaultParser) -> None:
+        """Late-bind the fault parser."""
+        self._fault_parser = fault_parser
+
+    # -- probe interface -------------------------------------------------------
+
+    def notify_event(self, name: str, time: float | None = None) -> None:
+        """Handle a local event notification from the probe.
+
+        The first notification sets the machine's initial state (its
+        argument is a state name); every subsequent notification is a local
+        event driving a transition per the specification.  Events with no
+        transition from the current state (and no ``default`` wildcard) are
+        ignored and remembered in :attr:`ignored_events`.
+        """
+        if self._exited or self._crashed:
+            raise RuntimePhaseError(
+                f"state machine {self.name!r} received event {name!r} after termination"
+            )
+        timestamp = self._clock() if time is None else time
+        if not self._initialized:
+            self._initialized = True
+            self._enter_state(name, event=DEFAULT_EVENT, time=timestamp)
+            return
+        next_state = self._spec.transition(self._current_state, name)
+        if next_state is None:
+            self.ignored_events.append((self._current_state, name))
+            return
+        self._enter_state(next_state, event=name, time=timestamp)
+
+    def notify_on_crash(self, time: float | None = None) -> None:
+        """Record a crash transition (called from the node's signal handler)."""
+        if self._crashed or self._exited:
+            return
+        timestamp = self._clock() if time is None else time
+        self._crashed = True
+        self._enter_state(CRASH_STATE, event=CRASH_EVENT, time=timestamp, terminal=True)
+        if self._transport is not None:
+            self._transport.notify_crash(self.name)
+
+    def notify_on_exit(self, time: float | None = None) -> None:
+        """Tell the runtime the node is exiting cleanly."""
+        if self._crashed or self._exited:
+            return
+        self._exited = True
+        if self._transport is not None:
+            self._transport.notify_exit(self.name)
+
+    # -- transport interface ---------------------------------------------------
+
+    def receive_remote_state(self, machine: str, state: str) -> None:
+        """Handle a state notification from a remote state machine."""
+        if machine == self.name:
+            return
+        if self._view.get(machine) == state:
+            return
+        self._view[machine] = state
+        self._notify_fault_parser()
+
+    def bulk_update_view(self, states: Mapping[str, str]) -> None:
+        """Install several remote states at once (used on node restart)."""
+        changed = False
+        for machine, state in states.items():
+            if machine == self.name:
+                continue
+            if self._view.get(machine) != state:
+                self._view[machine] = state
+                changed = True
+        if changed:
+            self._notify_fault_parser()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _enter_state(self, new_state: str, event: str, time: float, terminal: bool = False) -> None:
+        self._current_state = new_state
+        self._view[self.name] = new_state
+        self._recorder.record_state_change(event=event, new_state=new_state, time=time)
+        notify_targets = self._spec.notify_list(new_state)
+        if notify_targets and self._transport is not None:
+            self._transport.send_state_notification(self.name, notify_targets, new_state)
+        if not terminal:
+            self._notify_fault_parser()
+
+    def _notify_fault_parser(self) -> None:
+        if self._fault_parser is not None:
+            self._fault_parser.on_view_change(dict(self._view))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"StateMachine({self.name!r}, state={self._current_state!r})"

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the Loki reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish specification problems from runtime or
+analysis problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SpecificationError(ReproError):
+    """A user-provided specification file or object is malformed.
+
+    Raised by the parsers for state-machine specifications, fault
+    specifications, node files, daemon files, and study files, as well as by
+    the in-memory builders when a specification is inconsistent (for example
+    a transition that targets a state missing from the global state list).
+    """
+
+
+class ExpressionError(SpecificationError):
+    """A Boolean fault expression or predicate expression is malformed."""
+
+
+class RuntimeConfigurationError(ReproError):
+    """The runtime phase was configured inconsistently.
+
+    Examples: a node references a host that is not part of the machines
+    file, two state machines share a nickname, or a design choice that does
+    not support dynamic node entry is asked to start a node mid-experiment.
+    """
+
+
+class RuntimePhaseError(ReproError):
+    """An unrecoverable error occurred while executing an experiment."""
+
+
+class UnknownStateMachineError(RuntimePhaseError):
+    """A notification or fault expression referenced an unknown machine."""
+
+
+class TimelineFormatError(ReproError):
+    """A local timeline file could not be parsed."""
+
+
+class AnalysisError(ReproError):
+    """The analysis phase could not complete."""
+
+
+class ClockSynchronizationError(AnalysisError):
+    """Offline clock synchronization failed.
+
+    Raised when there are not enough synchronization messages between a
+    machine and the reference machine to bound the clock offset and drift,
+    or when the constraint system is infeasible (which indicates corrupted
+    timestamps rather than a merely wide bound).
+    """
+
+
+class MeasureError(ReproError):
+    """A measure specification is invalid or cannot be evaluated."""
+
+
+class ObservationFunctionError(MeasureError):
+    """An observation function was called with invalid arguments."""
+
+
+class StatisticsError(MeasureError):
+    """A statistical estimator could not be computed (e.g. empty sample)."""

@@ -1,0 +1,75 @@
+"""The measure-estimation phase (Chapter 4).
+
+Measures are defined at two levels.  A *study-level measure* is an ordered
+sequence of (subset selection, predicate, observation function) triples
+applied to the verified global timeline of every experiment of the study;
+its output per experiment is a *final observation function value*.  A
+*campaign-level measure* combines the final observation function values
+across studies: as one pooled sample (*simple sampling*), as a linearly
+weighted combination of per-study moments (*stratified weighted*), or with
+an arbitrary user function of the per-study means (*stratified user*).
+"""
+
+from repro.measures.campaign_measures import (
+    CampaignMeasureResult,
+    SimpleSamplingMeasure,
+    StratifiedUserMeasure,
+    StratifiedWeightedMeasure,
+)
+from repro.measures.observation import (
+    Count,
+    Duration,
+    Instant,
+    ObservationFunction,
+    Outcome,
+    TotalDuration,
+    UserObservation,
+)
+from repro.measures.predicate import (
+    EventTuple,
+    PAnd,
+    PNot,
+    POr,
+    Predicate,
+    StateTuple,
+    TimeWindow,
+)
+from repro.measures.pvt import PredicateTimeline, Transition
+from repro.measures.statistics import MomentSummary, combine_stratified, summarize_sample
+from repro.measures.study import MeasureStep, StudyMeasure
+from repro.measures.subset import SubsetSelection, select_all, value_between, value_positive, where
+from repro.measures.timeline_view import TimelineView
+
+__all__ = [
+    "CampaignMeasureResult",
+    "Count",
+    "Duration",
+    "EventTuple",
+    "Instant",
+    "MeasureStep",
+    "MomentSummary",
+    "ObservationFunction",
+    "Outcome",
+    "PAnd",
+    "PNot",
+    "POr",
+    "Predicate",
+    "PredicateTimeline",
+    "SimpleSamplingMeasure",
+    "StateTuple",
+    "StratifiedUserMeasure",
+    "StratifiedWeightedMeasure",
+    "StudyMeasure",
+    "SubsetSelection",
+    "TimeWindow",
+    "TimelineView",
+    "TotalDuration",
+    "Transition",
+    "UserObservation",
+    "combine_stratified",
+    "select_all",
+    "summarize_sample",
+    "value_between",
+    "value_positive",
+    "where",
+]

@@ -1,0 +1,165 @@
+"""Campaign-level measures (Section 4.4).
+
+Campaign measures combine the final observation function values of one or
+more studies:
+
+* :class:`SimpleSamplingMeasure` pools every study's values into a single
+  sample (all experiments are instances of the same random variable);
+* :class:`StratifiedWeightedMeasure` treats each study as its own random
+  variable and combines the per-study moments with normalized weights —
+  the estimator used for coverage of a fault-tolerance mechanism when the
+  per-class fault occurrence rates are known;
+* :class:`StratifiedUserMeasure` applies an arbitrary user function to the
+  per-study means; as the paper notes, the resulting value carries no
+  statistical guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import StatisticsError
+from repro.measures.statistics import MomentSummary, combine_stratified, summarize_sample
+
+
+def _clean(values: Sequence[float | None]) -> list[float]:
+    return [float(value) for value in values if value is not None]
+
+
+@dataclass(frozen=True)
+class CampaignMeasureResult:
+    """The estimate produced by one campaign-level measure."""
+
+    name: str
+    kind: str
+    summary: MomentSummary | None
+    value: float
+    per_study: Mapping[str, MomentSummary] = field(default_factory=dict)
+    samples_used: int = 0
+
+    @property
+    def mean(self) -> float:
+        """The point estimate (same as ``value``)."""
+        return self.value
+
+    def percentile(self, probability: float) -> float:
+        """Percentile of the campaign measure, when statistically defined."""
+        if self.summary is None:
+            raise StatisticsError(
+                f"campaign measure {self.name!r} of kind {self.kind!r} has no moment summary"
+            )
+        return self.summary.percentile(probability)
+
+
+class SimpleSamplingMeasure:
+    """Pool all studies' final observation values into one sample."""
+
+    kind = "simple_sampling"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def estimate(
+        self, study_values: Mapping[str, Sequence[float | None]]
+    ) -> CampaignMeasureResult:
+        """Estimate the measure from per-study final observation values."""
+        pooled: list[float] = []
+        per_study: dict[str, MomentSummary] = {}
+        for study, values in study_values.items():
+            cleaned = _clean(values)
+            if cleaned:
+                per_study[study] = summarize_sample(cleaned)
+            pooled.extend(cleaned)
+        if not pooled:
+            raise StatisticsError(
+                f"simple sampling measure {self.name!r} has no surviving experiments"
+            )
+        summary = summarize_sample(pooled)
+        return CampaignMeasureResult(
+            name=self.name,
+            kind=self.kind,
+            summary=summary,
+            value=summary.mean,
+            per_study=per_study,
+            samples_used=len(pooled),
+        )
+
+
+class StratifiedWeightedMeasure:
+    """Linearly weighted combination of per-study moments."""
+
+    kind = "stratified_weighted"
+
+    def __init__(self, name: str, weights: Mapping[str, float]) -> None:
+        self.name = name
+        self.weights = dict(weights)
+
+    def estimate(
+        self, study_values: Mapping[str, Sequence[float | None]]
+    ) -> CampaignMeasureResult:
+        """Estimate the measure from per-study final observation values."""
+        per_study: dict[str, MomentSummary] = {}
+        samples_used = 0
+        for study, values in study_values.items():
+            cleaned = _clean(values)
+            if not cleaned:
+                raise StatisticsError(
+                    f"stratified measure {self.name!r}: study {study!r} has no surviving experiments"
+                )
+            per_study[study] = summarize_sample(cleaned)
+            samples_used += len(cleaned)
+        summary = combine_stratified(per_study, self.weights)
+        return CampaignMeasureResult(
+            name=self.name,
+            kind=self.kind,
+            summary=summary,
+            value=summary.mean,
+            per_study=per_study,
+            samples_used=samples_used,
+        )
+
+
+class StratifiedUserMeasure:
+    """A user-defined combination of the per-study mean values."""
+
+    kind = "stratified_user"
+
+    def __init__(
+        self, name: str, function: Callable[[Mapping[str, float]], float]
+    ) -> None:
+        self.name = name
+        self.function = function
+
+    def estimate(
+        self, study_values: Mapping[str, Sequence[float | None]]
+    ) -> CampaignMeasureResult:
+        """Estimate the measure by applying the user function to study means.
+
+        The paper's caveat applies: the returned value replaces each study's
+        random variable by its mean, and therefore has no statistical
+        characterization (``summary`` is ``None``).
+        """
+        per_study: dict[str, MomentSummary] = {}
+        means: dict[str, float] = {}
+        samples_used = 0
+        for study, values in study_values.items():
+            cleaned = _clean(values)
+            if not cleaned:
+                raise StatisticsError(
+                    f"stratified user measure {self.name!r}: study {study!r} has no "
+                    "surviving experiments"
+                )
+            summary = summarize_sample(cleaned)
+            per_study[study] = summary
+            means[study] = summary.mean
+            samples_used += len(cleaned)
+        value = float(self.function(means))
+        return CampaignMeasureResult(
+            name=self.name,
+            kind=self.kind,
+            summary=None,
+            value=value,
+            per_study=per_study,
+            samples_used=samples_used,
+        )

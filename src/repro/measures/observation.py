@@ -1,0 +1,208 @@
+"""Observation functions (Section 4.3.2).
+
+An observation function reduces a predicate value timeline to a single
+number.  The five predefined functions of the paper are provided —
+``count``, ``outcome``, ``duration``, ``instant``, ``total_duration`` —
+plus :class:`UserObservation` for arbitrary user-defined reductions.
+
+``start``/``end`` arguments accept concrete times, ``None``, or the macros
+``"START_EXP"``/``"END_EXP"``, which resolve to the experiment's start and
+end times when the function is applied.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ObservationFunctionError
+from repro.measures.pvt import PredicateTimeline, Transition
+
+#: Macro resolving to the experiment start time.
+START_EXP = "START_EXP"
+
+#: Macro resolving to the experiment end time.
+END_EXP = "END_EXP"
+
+_EDGES = ("U", "D", "B")
+_KINDS = ("I", "S", "B")
+_VALUES = ("T", "F")
+
+
+def _resolve(bound, default: float) -> float:
+    if bound is None or bound in (START_EXP, END_EXP):
+        return default
+    return float(bound)
+
+
+def _check_choice(value: str, allowed: tuple[str, ...], label: str) -> str:
+    if value not in allowed:
+        raise ObservationFunctionError(f"{label} must be one of {allowed}, got {value!r}")
+    return value
+
+
+class ObservationFunction(ABC):
+    """Base class: a callable from predicate timeline to a float."""
+
+    @abstractmethod
+    def __call__(self, timeline: PredicateTimeline) -> float:
+        """Apply the observation function."""
+
+
+@dataclass(frozen=True)
+class Count(ObservationFunction):
+    """``count(<U|D|B>, <I|S|B>, START, END)``.
+
+    Number of up transitions, down transitions, or both, considering only
+    impulses, only steps, or both, within ``[start, end]``.
+    """
+
+    edge: str = "B"
+    kind: str = "B"
+    start: object = None
+    end: object = None
+
+    def __post_init__(self) -> None:
+        _check_choice(self.edge, _EDGES, "edge")
+        _check_choice(self.kind, _KINDS, "kind")
+
+    def __call__(self, timeline: PredicateTimeline) -> float:
+        lower = _resolve(self.start, timeline.start)
+        upper = _resolve(self.end, timeline.end)
+        return float(
+            sum(
+                1
+                for transition in timeline.transitions()
+                if transition.matches(self.edge, self.kind) and lower <= transition.time <= upper
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Outcome(ObservationFunction):
+    """``outcome(t)``: 1 if the predicate holds at instant ``t``, else 0."""
+
+    time: float
+
+    def __call__(self, timeline: PredicateTimeline) -> float:
+        return 1.0 if timeline.value_at(self.time) else 0.0
+
+
+@dataclass(frozen=True)
+class Duration(ObservationFunction):
+    """``duration(<T|F>, x, START, END)``.
+
+    For ``"T"``: the length of time the predicate remains true after the
+    ``x``-th false-to-true transition inside ``[start, end]`` (0 if that
+    transition is an impulse, 0 if there are fewer than ``x`` transitions).
+    For ``"F"``: the symmetric quantity after the ``x``-th true-to-false
+    transition.
+    """
+
+    value: str
+    occurrence: int
+    start: object = None
+    end: object = None
+
+    def __post_init__(self) -> None:
+        _check_choice(self.value, _VALUES, "value")
+        if self.occurrence < 1:
+            raise ObservationFunctionError("occurrence index must be at least 1")
+
+    def __call__(self, timeline: PredicateTimeline) -> float:
+        lower = _resolve(self.start, timeline.start)
+        upper = _resolve(self.end, timeline.end)
+        if self.value == "T":
+            starts = timeline.up_transitions()
+            follow = timeline.down_transitions()
+        else:
+            starts = timeline.down_transitions()
+            follow = timeline.up_transitions()
+        eligible = [transition for transition in starts if lower <= transition.time <= upper]
+        if len(eligible) < self.occurrence:
+            return 0.0
+        anchor = eligible[self.occurrence - 1]
+        if self.value == "T" and anchor.kind == "I":
+            # An impulse is true only for an instant, so the duration after
+            # an impulse up-transition is zero.
+            return 0.0
+        next_changes = [transition.time for transition in follow if transition.time > anchor.time]
+        closing = min(next_changes) if next_changes else upper
+        return max(0.0, min(closing, upper) - anchor.time)
+
+
+@dataclass(frozen=True)
+class Instant(ObservationFunction):
+    """``instant(<U|D|B>, <I|S|B>, x, START, END)``.
+
+    The time of the ``x``-th transition matching the edge/kind filter inside
+    ``[start, end]``; 0 if there are fewer than ``x`` such transitions.
+    """
+
+    edge: str
+    kind: str
+    occurrence: int
+    start: object = None
+    end: object = None
+
+    def __post_init__(self) -> None:
+        _check_choice(self.edge, _EDGES, "edge")
+        _check_choice(self.kind, _KINDS, "kind")
+        if self.occurrence < 1:
+            raise ObservationFunctionError("occurrence index must be at least 1")
+
+    def __call__(self, timeline: PredicateTimeline) -> float:
+        lower = _resolve(self.start, timeline.start)
+        upper = _resolve(self.end, timeline.end)
+        matches: list[Transition] = [
+            transition
+            for transition in timeline.transitions()
+            if transition.matches(self.edge, self.kind) and lower <= transition.time <= upper
+        ]
+        if len(matches) < self.occurrence:
+            return 0.0
+        return matches[self.occurrence - 1].time
+
+
+@dataclass(frozen=True)
+class TotalDuration(ObservationFunction):
+    """``total_duration(<T|F>, START, END)``.
+
+    Total time the predicate is true (``"T"``) or false (``"F"``) within
+    ``[start, end]``.  Impulses have zero measure and do not contribute.
+    """
+
+    value: str = "T"
+    start: object = None
+    end: object = None
+
+    def __post_init__(self) -> None:
+        _check_choice(self.value, _VALUES, "value")
+
+    def __call__(self, timeline: PredicateTimeline) -> float:
+        lower = _resolve(self.start, timeline.start)
+        upper = _resolve(self.end, timeline.end)
+        if upper < lower:
+            return 0.0
+        true_time = timeline.true_duration(lower, upper)
+        if self.value == "T":
+            return true_time
+        return (upper - lower) - true_time
+
+
+@dataclass(frozen=True)
+class UserObservation(ObservationFunction):
+    """A user-defined observation function.
+
+    The wrapped callable receives the predicate value timeline and may
+    combine the predefined functions with arbitrary arithmetic, which is
+    the Python analogue of the paper's "compiled with a standard C
+    compiler" user functions.
+    """
+
+    function: Callable[[PredicateTimeline], float]
+    name: str = "user"
+
+    def __call__(self, timeline: PredicateTimeline) -> float:
+        return float(self.function(timeline))

@@ -1,0 +1,155 @@
+"""Predicates over the global timeline (Section 4.3.1).
+
+A predicate is built from tuples combined with AND, OR, and NOT.  Four
+tuple forms exist:
+
+* ``(machine, state)`` — true whenever the machine is in the state;
+* ``(machine, state, time)`` — additionally restricted to a time window
+  (or instant);
+* ``(machine, state, event)`` — true at the instants the event occurs in
+  the machine while it is in the state (an impulse);
+* ``(machine, state, event, time)`` — the same restricted to a time
+  window (which must be an interval, not an instant).
+
+Evaluating a predicate against a :class:`~repro.measures.timeline_view.TimelineView`
+produces a :class:`~repro.measures.pvt.PredicateTimeline`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.analysis.intervals import IntervalSet
+from repro.errors import MeasureError
+from repro.measures.pvt import PredicateTimeline
+from repro.measures.timeline_view import TimelineView
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A closed time restriction: an interval or (when ``start == end``) an instant."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise MeasureError(f"time window end {self.end} precedes start {self.start}")
+
+    @property
+    def is_instant(self) -> bool:
+        """Whether the window is a single instant."""
+        return self.start == self.end
+
+    @classmethod
+    def interval(cls, start: float, end: float) -> "TimeWindow":
+        """A window spanning ``[start, end]``."""
+        return cls(start, end)
+
+    @classmethod
+    def instant(cls, time: float) -> "TimeWindow":
+        """A window consisting of the single instant ``time``."""
+        return cls(time, time)
+
+
+class Predicate(ABC):
+    """Base class of the predicate language."""
+
+    @abstractmethod
+    def evaluate(self, view: TimelineView) -> PredicateTimeline:
+        """Compute the predicate value timeline over one experiment."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return PAnd(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return POr(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return PNot(self)
+
+
+@dataclass(frozen=True)
+class StateTuple(Predicate):
+    """``(machine, state[, time])`` — state occupancy, optionally windowed."""
+
+    machine: str
+    state: str
+    window: TimeWindow | None = None
+
+    def evaluate(self, view: TimelineView) -> PredicateTimeline:
+        lower = view.start if self.window is None else max(view.start, self.window.start)
+        upper = view.end if self.window is None else min(view.end, self.window.end)
+        pairs: list[tuple[float, float]] = []
+        if upper >= lower:
+            for start, end in view.state_intervals(self.machine, self.state):
+                clipped_start = max(start, lower)
+                clipped_end = min(end, upper)
+                if clipped_end >= clipped_start:
+                    pairs.append((clipped_start, clipped_end))
+        return PredicateTimeline(
+            steps=IntervalSet.from_pairs(pairs),
+            impulses=(),
+            start=view.start,
+            end=view.end,
+        )
+
+
+@dataclass(frozen=True)
+class EventTuple(Predicate):
+    """``(machine, state, event[, time])`` — event occurrences (impulses)."""
+
+    machine: str
+    state: str
+    event: str
+    window: TimeWindow | None = None
+
+    def __post_init__(self) -> None:
+        if self.window is not None and self.window.is_instant:
+            raise MeasureError(
+                "tuples involving events must use a time interval, not an instant"
+            )
+
+    def evaluate(self, view: TimelineView) -> PredicateTimeline:
+        times = view.event_times(self.machine, self.event, state=self.state)
+        if self.window is not None:
+            times = [t for t in times if self.window.start <= t <= self.window.end]
+        return PredicateTimeline(
+            steps=IntervalSet.empty(),
+            impulses=times,
+            start=view.start,
+            end=view.end,
+        )
+
+
+@dataclass(frozen=True)
+class PAnd(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, view: TimelineView) -> PredicateTimeline:
+        return self.left.evaluate(view) & self.right.evaluate(view)
+
+
+@dataclass(frozen=True)
+class POr(Predicate):
+    """Disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, view: TimelineView) -> PredicateTimeline:
+        return self.left.evaluate(view) | self.right.evaluate(view)
+
+
+@dataclass(frozen=True)
+class PNot(Predicate):
+    """Negation of a predicate."""
+
+    operand: Predicate
+
+    def evaluate(self, view: TimelineView) -> PredicateTimeline:
+        return ~self.operand.evaluate(view)

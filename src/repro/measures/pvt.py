@@ -1,0 +1,162 @@
+"""Predicate value timelines (Section 4.3.1).
+
+Applying a predicate to a global timeline yields a *predicate value
+timeline*: a Boolean function of time made of *steps* (intervals during
+which the predicate holds because of state occupancy) and *impulses*
+(isolated instants at which it holds because an event occurred).  The
+observation functions of Section 4.3.2 are all defined over this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.intervals import IntervalSet
+from repro.errors import MeasureError
+
+#: Transition edge direction: false-to-true or true-to-false.
+UP = "U"
+DOWN = "D"
+
+#: Transition origin: a step boundary or an impulse.
+STEP = "S"
+IMPULSE = "I"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One transition of a predicate value timeline."""
+
+    time: float
+    edge: str
+    kind: str
+
+    def matches(self, edge: str, kind: str) -> bool:
+        """Whether the transition matches an edge/kind filter (``"B"`` = both)."""
+        edge_ok = edge == "B" or edge == self.edge
+        kind_ok = kind == "B" or kind == self.kind
+        return edge_ok and kind_ok
+
+
+class PredicateTimeline:
+    """The value of one predicate over the duration of one experiment."""
+
+    def __init__(
+        self,
+        steps: IntervalSet,
+        impulses: Iterable[float],
+        start: float,
+        end: float,
+    ) -> None:
+        if end < start:
+            raise MeasureError(f"predicate timeline end {end} precedes start {start}")
+        self._start = start
+        self._end = end
+        self._steps = steps.clip(start, end)
+        self._impulses = tuple(sorted({t for t in impulses if start <= t <= end}))
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def start(self) -> float:
+        """Experiment start time."""
+        return self._start
+
+    @property
+    def end(self) -> float:
+        """Experiment end time."""
+        return self._end
+
+    @property
+    def steps(self) -> IntervalSet:
+        """The intervals during which the predicate holds as a step."""
+        return self._steps
+
+    @property
+    def impulses(self) -> tuple[float, ...]:
+        """All impulse instants (including any covered by a step)."""
+        return self._impulses
+
+    def effective_impulses(self) -> tuple[float, ...]:
+        """Impulses that are not already inside a true step interval.
+
+        Only these contribute transitions: an impulse inside a step region
+        does not change the predicate's value.
+        """
+        return tuple(t for t in self._impulses if not self._steps.contains(t))
+
+    def value_at(self, time: float) -> bool:
+        """The predicate's value at one instant."""
+        return self._steps.contains(time) or time in self._impulses
+
+    # -- Boolean combinations -----------------------------------------------------------
+
+    def _check_compatible(self, other: "PredicateTimeline") -> None:
+        if (self._start, self._end) != (other._start, other._end):
+            raise MeasureError(
+                "cannot combine predicate timelines with different experiment extents"
+            )
+
+    def __or__(self, other: "PredicateTimeline") -> "PredicateTimeline":
+        self._check_compatible(other)
+        return PredicateTimeline(
+            steps=self._steps.union(other._steps),
+            impulses=self._impulses + other._impulses,
+            start=self._start,
+            end=self._end,
+        )
+
+    def __and__(self, other: "PredicateTimeline") -> "PredicateTimeline":
+        self._check_compatible(other)
+        steps = self._steps.intersection(other._steps)
+        impulses = [t for t in self._impulses if other.value_at(t)]
+        impulses.extend(t for t in other._impulses if self.value_at(t))
+        return PredicateTimeline(
+            steps=steps, impulses=impulses, start=self._start, end=self._end
+        )
+
+    def __invert__(self) -> "PredicateTimeline":
+        # The negation of an impulse is true everywhere except a single
+        # instant; that measure-zero exception is dropped, so only the step
+        # component is complemented.
+        return PredicateTimeline(
+            steps=self._steps.complement(self._start, self._end),
+            impulses=(),
+            start=self._start,
+            end=self._end,
+        )
+
+    # -- transitions ---------------------------------------------------------------------
+
+    def transitions(self) -> list[Transition]:
+        """All transitions, ordered by time (up before down at equal times)."""
+        result: list[Transition] = []
+        for interval in self._steps:
+            result.append(Transition(time=interval.start, edge=UP, kind=STEP))
+            result.append(Transition(time=interval.end, edge=DOWN, kind=STEP))
+        for impulse in self.effective_impulses():
+            result.append(Transition(time=impulse, edge=UP, kind=IMPULSE))
+            result.append(Transition(time=impulse, edge=DOWN, kind=IMPULSE))
+        result.sort(key=lambda transition: (transition.time, 0 if transition.edge == UP else 1))
+        return result
+
+    def up_transitions(self) -> list[Transition]:
+        """Only false-to-true transitions, in time order."""
+        return [transition for transition in self.transitions() if transition.edge == UP]
+
+    def down_transitions(self) -> list[Transition]:
+        """Only true-to-false transitions, in time order."""
+        return [transition for transition in self.transitions() if transition.edge == DOWN]
+
+    def true_duration(self, start: float | None = None, end: float | None = None) -> float:
+        """Total time the predicate holds as a step within ``[start, end]``."""
+        lower = self._start if start is None else start
+        upper = self._end if end is None else end
+        return self._steps.clip(lower, upper).total_length()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PredicateTimeline(steps={self._steps!r}, impulses={self._impulses}, "
+            f"window=[{self._start}, {self._end}])"
+        )

@@ -1,0 +1,77 @@
+"""Study-level measures (Section 4.3.4).
+
+A study-level measure is an ordered sequence of (subset selection,
+predicate, observation function) triples applied to every experiment of a
+study.  The subset selection of each triple examines the observation value
+of the *previous* triple and decides whether the experiment stays in the
+measure; the output of the last triple is the experiment's *final
+observation function value* (or ``None`` if the experiment was filtered
+out along the way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import MeasureError
+from repro.measures.observation import ObservationFunction
+from repro.measures.predicate import Predicate
+from repro.measures.subset import SubsetSelection, select_all
+from repro.measures.timeline_view import TimelineView
+
+
+@dataclass(frozen=True)
+class MeasureStep:
+    """One (subset selection, predicate, observation function) triple."""
+
+    predicate: Predicate
+    observation: ObservationFunction
+    subset: SubsetSelection = field(default_factory=select_all)
+
+
+@dataclass(frozen=True)
+class StudyMeasure:
+    """An ordered sequence of measure steps evaluated per experiment."""
+
+    name: str
+    steps: tuple[MeasureStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise MeasureError(f"study measure {self.name!r} has no steps")
+
+    @classmethod
+    def from_triples(
+        cls,
+        name: str,
+        triples: Iterable[tuple[SubsetSelection, Predicate, ObservationFunction]],
+    ) -> "StudyMeasure":
+        """Build a measure from (subset, predicate, observation) triples."""
+        steps = tuple(
+            MeasureStep(predicate=predicate, observation=observation, subset=subset)
+            for subset, predicate, observation in triples
+        )
+        return cls(name=name, steps=steps)
+
+    def apply_to_view(self, view: TimelineView) -> float | None:
+        """Evaluate the measure on one experiment's timeline view.
+
+        Returns the final observation function value, or ``None`` if a
+        subset selection removed the experiment.
+        """
+        previous: float | None = None
+        for index, step in enumerate(self.steps):
+            if index > 0 and not step.subset(previous):
+                return None
+            timeline = step.predicate.evaluate(view)
+            previous = step.observation(timeline)
+        return previous
+
+    def apply(self, views: Sequence[TimelineView]) -> list[float | None]:
+        """Evaluate the measure on every experiment of a study."""
+        return [self.apply_to_view(view) for view in views]
+
+    def final_values(self, views: Sequence[TimelineView]) -> list[float]:
+        """Final observation values of the experiments that survive selection."""
+        return [value for value in self.apply(views) if value is not None]

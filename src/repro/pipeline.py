@@ -1,0 +1,178 @@
+"""High-level evaluation pipeline: runtime phase -> analysis -> measures.
+
+This module ties the three phases of a Loki evaluation (Figure 2.1)
+together behind a small facade used by the examples and benchmarks:
+
+1. run the campaign (:mod:`repro.core.campaign`);
+2. for every experiment, estimate clock bounds, build the global timeline,
+   and verify the injections (:mod:`repro.analysis`), discarding
+   experiments with injections that cannot be proven correct;
+3. apply study measures to the accepted experiments and estimate
+   campaign-level measures (:mod:`repro.measures`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.clock_sync import ClockBounds, estimate_all_bounds
+from repro.analysis.global_timeline import GlobalTimeline, build_global_timeline
+from repro.analysis.verification import ExperimentVerification, verify_experiment
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignRunner,
+    ExperimentResult,
+    StudyResult,
+)
+from repro.core.specs.fault_spec import FaultSpecification
+from repro.measures.study import StudyMeasure
+from repro.measures.timeline_view import TimelineView
+
+
+@dataclass
+class AnalyzedExperiment:
+    """One experiment after the analysis phase."""
+
+    result: ExperimentResult
+    clock_bounds: dict[str, ClockBounds]
+    global_timeline: GlobalTimeline
+    verification: ExperimentVerification
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the experiment survives the analysis phase.
+
+        An experiment is kept only if it ran to completion and every fault
+        injection it contains was provably performed in the intended global
+        state.
+        """
+        return self.result.completed and self.verification.correct
+
+    def view(self, time_policy: str = "midpoint") -> TimelineView:
+        """A measure-layer view of the experiment's global timeline."""
+        return TimelineView.from_global_timeline(self.global_timeline, time_policy=time_policy)
+
+
+def analyze_experiment(
+    result: ExperimentResult,
+    fault_specifications: Mapping[str, FaultSpecification],
+) -> AnalyzedExperiment:
+    """Run the analysis phase for one experiment."""
+    bounds = estimate_all_bounds(result.sync_messages, result.hosts, result.reference_host)
+    timeline = build_global_timeline(result.local_timelines, bounds)
+    verification = verify_experiment(timeline, fault_specifications)
+    return AnalyzedExperiment(
+        result=result,
+        clock_bounds=bounds,
+        global_timeline=timeline,
+        verification=verification,
+    )
+
+
+@dataclass
+class StudyAnalysis:
+    """All experiments of one study after the analysis phase."""
+
+    study: StudyResult
+    experiments: list[AnalyzedExperiment] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """The study's name."""
+        return self.study.name
+
+    def accepted(self) -> list[AnalyzedExperiment]:
+        """Experiments that survived the analysis phase."""
+        return [experiment for experiment in self.experiments if experiment.accepted]
+
+    def discarded(self) -> list[AnalyzedExperiment]:
+        """Experiments discarded because of incorrect or incomplete runs."""
+        return [experiment for experiment in self.experiments if not experiment.accepted]
+
+    def accepted_views(self, time_policy: str = "midpoint") -> list[TimelineView]:
+        """Timeline views of the accepted experiments."""
+        return [experiment.view(time_policy) for experiment in self.accepted()]
+
+    def measure_values(
+        self, measure: StudyMeasure, time_policy: str = "midpoint"
+    ) -> list[float | None]:
+        """Apply a study measure to every accepted experiment."""
+        return measure.apply(self.accepted_views(time_policy))
+
+
+def analyze_study(study_result: StudyResult) -> StudyAnalysis:
+    """Run the analysis phase for every experiment of a study."""
+    fault_specifications = study_result.config.fault_specifications()
+    analysis = StudyAnalysis(study=study_result)
+    for experiment in study_result.experiments:
+        analysis.experiments.append(analyze_experiment(experiment, fault_specifications))
+    return analysis
+
+
+@dataclass
+class CampaignAnalysis:
+    """The analysis-phase output of a whole campaign."""
+
+    campaign: CampaignResult
+    studies: dict[str, StudyAnalysis] = field(default_factory=dict)
+
+    def study(self, name: str) -> StudyAnalysis:
+        """Look up one study's analysis by name."""
+        return self.studies[name]
+
+    def measure_values(
+        self,
+        measures: Mapping[str, StudyMeasure],
+        time_policy: str = "midpoint",
+    ) -> dict[str, list[float | None]]:
+        """Apply one study measure per study and collect the value lists.
+
+        ``measures`` maps study name to the study measure to apply; studies
+        missing from the mapping are skipped.
+        """
+        values: dict[str, list[float | None]] = {}
+        for name, analysis in self.studies.items():
+            if name in measures:
+                values[name] = analysis.measure_values(measures[name], time_policy)
+        return values
+
+    def acceptance_summary(self) -> dict[str, tuple[int, int]]:
+        """Per study: (accepted experiments, total experiments)."""
+        return {
+            name: (len(analysis.accepted()), len(analysis.experiments))
+            for name, analysis in self.studies.items()
+        }
+
+
+def analyze_campaign(result: CampaignResult) -> CampaignAnalysis:
+    """Run the analysis phase for every study of a campaign."""
+    analysis = CampaignAnalysis(campaign=result)
+    for name, study_result in result.studies.items():
+        analysis.studies[name] = analyze_study(study_result)
+    return analysis
+
+
+def run_and_analyze(config: CampaignConfig) -> CampaignAnalysis:
+    """Run the runtime phase and the analysis phase of a campaign."""
+    return analyze_campaign(CampaignRunner(config).run())
+
+
+def correct_injection_fraction(analyses: Sequence[AnalyzedExperiment]) -> float:
+    """Fraction of injections that were verified correct across experiments.
+
+    This is the quantity plotted in Figures 3.2 and 3.3 (correct fault
+    injection probability); experiments with no injections contribute
+    nothing to either count.
+    """
+    correct = 0
+    total = 0
+    for experiment in analyses:
+        for verdict in experiment.verification.verdicts:
+            total += 1
+            if verdict.correct:
+                correct += 1
+    if total == 0:
+        return 0.0
+    return correct / total

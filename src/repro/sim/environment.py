@@ -1,0 +1,228 @@
+"""Facade wiring hosts, processes, the network, and the kernel together.
+
+An :class:`Environment` is one deployment of the distributed system under
+study plus the Loki runtime: a set of hosts (each with its own clock and
+scheduler), the processes placed on them, and the LAN connecting them.  The
+campaign runner builds a fresh environment for every experiment so that no
+state leaks between experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import RuntimeConfigurationError, RuntimePhaseError
+from repro.sim.clock import ClockParameters, HardwareClock
+from repro.sim.host import Host, SchedulerConfig
+from repro.sim.kernel import SimKernel
+from repro.sim.network import IPC_PROFILE, LAN_TCP_PROFILE, LinkProfile, Network, NetworkMessage
+from repro.sim.process import SimProcess
+from repro.sim.rng import RandomStreams
+
+
+class Environment:
+    """One simulated deployment: hosts, processes, network, virtual time."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_scheduler: SchedulerConfig | None = None,
+        ipc_profile: LinkProfile = IPC_PROFILE,
+        lan_profile: LinkProfile = LAN_TCP_PROFILE,
+    ) -> None:
+        self.kernel = SimKernel()
+        self.streams = RandomStreams(seed)
+        self.network = Network(self.kernel, self.streams, default_profile=lan_profile)
+        self._ipc_profile = ipc_profile
+        self._lan_profile = lan_profile
+        self._default_scheduler = default_scheduler or SchedulerConfig()
+        self._hosts: dict[str, Host] = {}
+        self._processes: dict[str, SimProcess] = {}
+        self._termination_listeners: list[Callable[[SimProcess, bool], None]] = []
+        self._undeliverable: list[tuple[str, str]] = []
+
+    @property
+    def ipc_profile(self) -> LinkProfile:
+        """Delay profile used for messages between processes on the same host."""
+        return self._ipc_profile
+
+    @property
+    def lan_profile(self) -> LinkProfile:
+        """Delay profile used for messages between processes on different hosts."""
+        return self._lan_profile
+
+    # -- hosts ---------------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        clock: ClockParameters | HardwareClock | None = None,
+        scheduler: SchedulerConfig | None = None,
+    ) -> Host:
+        """Create and register a host."""
+        if name in self._hosts:
+            raise RuntimeConfigurationError(f"host {name!r} already exists")
+        host = Host(
+            name,
+            self.kernel,
+            self.streams,
+            clock=clock,
+            scheduler=scheduler or self._default_scheduler,
+        )
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise RuntimeConfigurationError(f"unknown host {name!r}") from None
+
+    @property
+    def hosts(self) -> dict[str, Host]:
+        """All hosts registered with the environment."""
+        return dict(self._hosts)
+
+    # -- processes -----------------------------------------------------------
+
+    def spawn(self, process: SimProcess, host_name: str, start_delay: float = 0.0) -> SimProcess:
+        """Place a process on a host and schedule its ``start`` callback."""
+        host = self.host(host_name)
+        if process.name in self._processes and self._processes[process.name].alive:
+            raise RuntimeConfigurationError(
+                f"a live process named {process.name!r} already exists"
+            )
+        process._bind(self, host)
+        host.attach_process(process)
+        self._processes[process.name] = process
+        self.kernel.schedule(start_delay, self._start_process, process)
+        return process
+
+    def _start_process(self, process: SimProcess) -> None:
+        if process.alive:
+            process.start()
+
+    def process(self, name: str) -> SimProcess | None:
+        """Look up a process by name (``None`` if it never existed)."""
+        return self._processes.get(name)
+
+    @property
+    def processes(self) -> dict[str, SimProcess]:
+        """All processes ever spawned in the environment, by name."""
+        return dict(self._processes)
+
+    def live_processes(self) -> list[SimProcess]:
+        """Processes that are currently alive."""
+        return [p for p in self._processes.values() if p.alive]
+
+    def process_terminated(self, process: SimProcess, crashed: bool) -> None:
+        """Internal: called by processes when they exit or crash."""
+        process.host.detach_process(process.name)
+        for listener in list(self._termination_listeners):
+            listener(process, crashed)
+
+    def add_termination_listener(self, listener: Callable[[SimProcess, bool], None]) -> None:
+        """Register a callback invoked as ``listener(process, crashed)``."""
+        self._termination_listeners.append(listener)
+
+    # -- messaging -----------------------------------------------------------
+
+    def endpoint(self, process_name: str) -> str:
+        """The network endpoint identifier of a process."""
+        process = self._processes.get(process_name)
+        if process is None or process._host is None:
+            return f"?/{process_name}"
+        return f"{process._host.name}/{process_name}"
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        size_bytes: int = 0,
+        profile: LinkProfile | None = None,
+    ) -> None:
+        """Send ``payload`` from one named process to another.
+
+        The link profile is chosen automatically: IPC if both processes are
+        placed on the same host, LAN/TCP otherwise.  Delivery charges the
+        destination host's scheduling delay before the receiving process's
+        ``receive`` method runs; messages to dead processes are dropped and
+        recorded in :attr:`undeliverable`.
+        """
+        src = self._processes.get(source)
+        dst = self._processes.get(destination)
+        if src is None:
+            raise RuntimePhaseError(f"unknown sender process {source!r}")
+        if dst is None or not dst.alive:
+            self._undeliverable.append((source, destination))
+            return
+        if profile is None:
+            same_host = src._host is dst._host
+            profile = self._ipc_profile if same_host else self._lan_profile
+        self.network.send(
+            self.endpoint(source),
+            self.endpoint(destination),
+            payload,
+            deliver=lambda message, name=destination: self._deliver(name, message),
+            profile=profile,
+            size_bytes=size_bytes,
+        )
+
+    def _deliver(self, destination: str, message: NetworkMessage) -> None:
+        process = self._processes.get(destination)
+        if process is None or not process.alive:
+            self._undeliverable.append((message.source, destination))
+            return
+        delay = process.host.scheduling_delay()
+        self.kernel.schedule(delay, self._dispatch, destination, message)
+
+    def _dispatch(self, destination: str, message: NetworkMessage) -> None:
+        process = self._processes.get(destination)
+        if process is None or not process.alive:
+            self._undeliverable.append((message.source, destination))
+            return
+        process.receive(message)
+
+    @property
+    def undeliverable(self) -> list[tuple[str, str]]:
+        """(source, destination) pairs of messages dropped because the target was dead."""
+        return list(self._undeliverable)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run the simulation (see :meth:`SimKernel.run`)."""
+        self.kernel.run(until=until, max_events=max_events)
+
+    def run_until(self, condition: Callable[[], bool], timeout: float, check_interval: float = 0.001) -> bool:
+        """Run until ``condition()`` becomes true or ``timeout`` elapses.
+
+        Returns ``True`` if the condition was met.  The condition is checked
+        after every processed event and at ``check_interval`` heartbeats so
+        that quiescent systems still time out promptly.
+        """
+        deadline = self.kernel.now + timeout
+        while self.kernel.now <= deadline:
+            if condition():
+                return True
+            if not self.kernel.step():
+                return condition()
+            if self.kernel.now > deadline:
+                break
+        return condition()
+
+    def read_clock(self, host_name: str) -> float:
+        """Read a host's hardware clock at the current instant."""
+        return self.host(host_name).read_clock()
+
+    def clock_table(self) -> dict[str, HardwareClock]:
+        """Mapping of host name to its hardware clock (ground truth for tests)."""
+        return {name: host.clock for name, host in self._hosts.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Environment(hosts={sorted(self._hosts)}, processes={len(self._processes)}, "
+            f"t={self.kernel.now:.6f})"
+        )

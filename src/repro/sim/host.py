@@ -1,0 +1,137 @@
+"""Hosts and the operating-system scheduling model.
+
+The performance analysis of the original Loki runtime (Figures 3.2 and 3.3)
+found that the probability of a correct state-driven injection is governed
+almost entirely by the OS context-switching latency incurred when
+notification messages are sent and received — not by the network delay or
+by Loki's own processing.  The host model therefore charges a *scheduling
+delay* every time a message wakes up a process that is not currently
+running: a context-switch cost plus a uniformly distributed wait of up to
+``runnable_competitors`` timeslices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import RuntimeConfigurationError
+from repro.sim.clock import ClockParameters, HardwareClock
+from repro.sim.kernel import SimKernel
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.process import SimProcess
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Operating-system scheduling parameters for one host.
+
+    Attributes
+    ----------
+    timeslice:
+        Length of the OS scheduling quantum in seconds.  The paper's
+        experiments use 10 ms (stock Linux 2.2) and 1 ms (patched kernel).
+    context_switch_cost:
+        Fixed cost charged per wake-up, in seconds.
+    runnable_competitors:
+        Average number of other runnable processes competing for the CPU.
+        The wake-up wait is uniform on ``[0, runnable_competitors *
+        timeslice]``.
+    immediate_probability:
+        Probability that the woken process is already scheduled on the CPU
+        and pays only the context-switch cost (models an otherwise idle
+        host where the receiving process is blocked in ``select``).
+    """
+
+    timeslice: float = 0.010
+    context_switch_cost: float = 50e-6
+    runnable_competitors: float = 1.0
+    immediate_probability: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.timeslice <= 0:
+            raise RuntimeConfigurationError("timeslice must be positive")
+        if self.context_switch_cost < 0:
+            raise RuntimeConfigurationError("context switch cost cannot be negative")
+        if self.runnable_competitors < 0:
+            raise RuntimeConfigurationError("runnable_competitors cannot be negative")
+        if not 0.0 <= self.immediate_probability <= 1.0:
+            raise RuntimeConfigurationError("immediate_probability must be within [0, 1]")
+
+
+class Host:
+    """A machine of the distributed system: clock, OS scheduler, processes."""
+
+    def __init__(
+        self,
+        name: str,
+        kernel: SimKernel,
+        streams: RandomStreams,
+        clock: ClockParameters | HardwareClock | None = None,
+        scheduler: SchedulerConfig | None = None,
+    ) -> None:
+        self.name = name
+        self._kernel = kernel
+        self._rng = streams.stream(f"host:{name}")
+        if isinstance(clock, HardwareClock):
+            self.clock = clock
+        else:
+            self.clock = HardwareClock(clock or ClockParameters())
+        self.scheduler = scheduler or SchedulerConfig()
+        self._processes: dict[str, "SimProcess"] = {}
+        self._crashed = False
+
+    @property
+    def kernel(self) -> SimKernel:
+        """The kernel this host is attached to."""
+        return self._kernel
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the whole host has crashed (Section 3.6.4)."""
+        return self._crashed
+
+    @property
+    def processes(self) -> dict[str, "SimProcess"]:
+        """Mapping of process name to process currently placed on this host."""
+        return dict(self._processes)
+
+    def read_clock(self) -> float:
+        """Read the host's hardware clock at the current physical time."""
+        return self.clock.read(self._kernel.now)
+
+    def attach_process(self, process: "SimProcess") -> None:
+        """Place a process on this host."""
+        if process.name in self._processes:
+            raise RuntimeConfigurationError(
+                f"process {process.name!r} already exists on host {self.name!r}"
+            )
+        self._processes[process.name] = process
+
+    def detach_process(self, name: str) -> None:
+        """Remove a process from this host (after exit, crash, or migration)."""
+        self._processes.pop(name, None)
+
+    def scheduling_delay(self) -> float:
+        """Sample the delay before a woken process runs on the CPU."""
+        config = self.scheduler
+        delay = config.context_switch_cost
+        if self._rng.random() >= config.immediate_probability:
+            delay += self._rng.uniform(0.0, config.runnable_competitors * config.timeslice)
+        return delay
+
+    def crash(self) -> None:
+        """Crash the host: every process on it crashes immediately."""
+        self._crashed = True
+        for process in list(self._processes.values()):
+            if process.alive:
+                process.crash(reason="host crash")
+
+    def reboot(self) -> None:
+        """Bring a crashed host back up (with no processes running)."""
+        self._crashed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Host({self.name!r}, processes={sorted(self._processes)}, crashed={self._crashed})"

@@ -1,0 +1,155 @@
+"""Discrete-event simulation kernel.
+
+The kernel owns virtual time (the *physical* time ``t`` of the paper's
+clock model) and a priority queue of scheduled callbacks.  Everything else
+in the substrate — clocks, the network, the OS scheduler, application
+processes, and the Loki runtime itself — is driven by callbacks scheduled
+on a single kernel instance, which is what makes whole experiments
+deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RuntimePhaseError
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimKernel.schedule` for cancellation."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"EventHandle(t={self.time:.6f}, cb={name}, cancelled={self.cancelled})"
+
+
+class SimKernel:
+    """Virtual-time event loop.
+
+    Time is a float number of seconds of physical (true) time.  Callbacks
+    scheduled for the same instant run in scheduling order, which keeps the
+    simulation deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current physical simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (not yet cancelled) callbacks."""
+        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise RuntimePhaseError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise RuntimePhaseError(
+                f"cannot schedule an event at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        return handle
+
+    def step(self) -> bool:
+        """Run the next pending callback.  Return ``False`` if none remain."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run callbacks until the queue drains or a limit is reached.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next pending callback would run after
+            this time; the kernel clock is then advanced to ``until``.
+        max_events:
+            If given, stop after executing this many callbacks (a guard
+            against runaway experiments).
+        """
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    return
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    return
+                if not self.step():
+                    break
+                executed += 1
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def _peek_time(self) -> float | None:
+        while self._queue:
+            entry = self._queue[0]
+            if entry.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return entry.time
+        return None
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock with no callbacks (used between experiments)."""
+        if time < self._now:
+            raise RuntimePhaseError("cannot move simulation time backwards")
+        self._now = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SimKernel(now={self._now:.6f}, pending={self.pending})"

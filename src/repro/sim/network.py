@@ -1,0 +1,159 @@
+"""LAN and intra-host communication model.
+
+The paper's Section 3.4 compares runtime designs partly on the cost of
+message hops: an intra-host IPC hop (shared memory plus a semaphore) costs
+on the order of 20 microseconds while a TCP/IP hop on the experimental LAN
+costs on the order of 150 microseconds.  The network model reproduces this
+with per-link delay profiles (a fixed base delay plus exponential jitter)
+and optional message loss for fault-injection of the substrate itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RuntimeConfigurationError
+from repro.sim.kernel import SimKernel
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Delay characteristics of one communication link.
+
+    Attributes
+    ----------
+    base_delay:
+        Minimum one-way delay in seconds.
+    jitter_mean:
+        Mean of the exponentially distributed jitter added to the base
+        delay, in seconds.  ``0`` disables jitter.
+    loss_probability:
+        Probability that a message on this link is silently dropped.
+    """
+
+    base_delay: float = 150e-6
+    jitter_mean: float = 30e-6
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.jitter_mean < 0:
+            raise RuntimeConfigurationError("link delays cannot be negative")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise RuntimeConfigurationError("loss probability must be within [0, 1]")
+
+    def sample_delay(self, rng) -> float:
+        """Draw one one-way delay from this profile."""
+        delay = self.base_delay
+        if self.jitter_mean > 0:
+            delay += rng.expovariate(1.0 / self.jitter_mean)
+        return delay
+
+
+#: Shared-memory / semaphore hop between two processes on the same host.
+IPC_PROFILE = LinkProfile(base_delay=20e-6, jitter_mean=5e-6)
+
+#: TCP/IP hop between two hosts on the experimental LAN.
+LAN_TCP_PROFILE = LinkProfile(base_delay=150e-6, jitter_mean=30e-6)
+
+
+@dataclass
+class NetworkMessage:
+    """A message in flight between two endpoints.
+
+    Endpoints are opaque strings of the form ``"host/process"`` assigned by
+    the :class:`~repro.sim.environment.Environment`.
+    """
+
+    source: str
+    destination: str
+    payload: Any
+    sent_at: float
+    size_bytes: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+class Network:
+    """Delivers messages between endpoints with per-link delay profiles."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        streams: RandomStreams,
+        default_profile: LinkProfile = LAN_TCP_PROFILE,
+    ) -> None:
+        self._kernel = kernel
+        self._rng = streams.stream("network")
+        self._default_profile = default_profile
+        self._link_profiles: dict[tuple[str, str], LinkProfile] = {}
+        self._partitions: set[frozenset[str]] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    def set_link_profile(self, source: str, destination: str, profile: LinkProfile) -> None:
+        """Override the delay profile for one directed endpoint pair."""
+        self._link_profiles[(source, destination)] = profile
+
+    def profile_for(self, source: str, destination: str) -> LinkProfile:
+        """Return the profile that governs messages from source to destination."""
+        return self._link_profiles.get((source, destination), self._default_profile)
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Drop all traffic between endpoints of the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal_partitions(self) -> None:
+        """Remove all active partitions."""
+        self._partitions.clear()
+
+    def is_partitioned(self, source: str, destination: str) -> bool:
+        """Whether traffic between the two endpoints is currently dropped."""
+        return frozenset((source, destination)) in self._partitions
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        deliver: Callable[[NetworkMessage], None],
+        profile: LinkProfile | None = None,
+        size_bytes: int = 0,
+    ) -> NetworkMessage:
+        """Send ``payload`` from ``source`` to ``destination``.
+
+        ``deliver`` is invoked with the :class:`NetworkMessage` after the
+        sampled link delay, unless the message is lost or the endpoints are
+        partitioned.  Returns the in-flight message object.
+        """
+        message = NetworkMessage(
+            source=source,
+            destination=destination,
+            payload=payload,
+            sent_at=self._kernel.now,
+            size_bytes=size_bytes,
+        )
+        self.messages_sent += 1
+        if self.is_partitioned(source, destination):
+            self.messages_dropped += 1
+            return message
+        link = profile or self.profile_for(source, destination)
+        if link.loss_probability > 0 and self._rng.random() < link.loss_probability:
+            self.messages_dropped += 1
+            return message
+        delay = link.sample_delay(self._rng)
+        self._kernel.schedule(delay, self._deliver, message, deliver)
+        return message
+
+    def _deliver(self, message: NetworkMessage, deliver: Callable[[NetworkMessage], None]) -> None:
+        self.messages_delivered += 1
+        deliver(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Network(sent={self.messages_sent}, delivered={self.messages_delivered}, "
+            f"dropped={self.messages_dropped})"
+        )

@@ -1,0 +1,209 @@
+"""End-to-end tests: example applications through the full three-phase pipeline."""
+
+import pytest
+
+from repro.apps.election import (
+    ElectionParameters,
+    build_election_study,
+    correlated_follower_fault,
+    election_state_machine_spec,
+    leader_fault,
+    uncorrelated_follower_fault,
+)
+from repro.apps.replication import (
+    ReplicationParameters,
+    build_replication_study,
+    primary_during_sync_fault,
+    replication_state_machine_spec,
+)
+from repro.apps.toggle import build_toggle_study
+from repro.core.campaign import run_single_study
+from repro.core.runtime.context import RestartPolicy
+from repro.measures import (
+    MeasureStep,
+    SimpleSamplingMeasure,
+    StateTuple,
+    StratifiedWeightedMeasure,
+    StudyMeasure,
+    TotalDuration,
+    UserObservation,
+    value_positive,
+)
+from repro.pipeline import analyze_study, correct_injection_fraction
+
+
+def election_parameters(favored=None, **kwargs):
+    machines = ("black", "yellow", "green")
+    return {
+        machine: ElectionParameters(
+            run_duration=0.5, favored=(machine == favored), **kwargs
+        )
+        for machine in machines
+    }
+
+
+def coverage_measure(machine="black"):
+    """The Section 5.8 coverage study measure, as an indicator value."""
+    indicator = UserObservation(
+        lambda timeline: 1.0 if timeline.true_duration() > 0 else 0.0, name="duration>0"
+    )
+    return StudyMeasure(
+        name=f"{machine}-coverage",
+        steps=(
+            MeasureStep(StateTuple(machine, "CRASH"), TotalDuration("T")),
+            MeasureStep(StateTuple(machine, "RESTART_SM"), indicator, value_positive()),
+        ),
+    )
+
+
+class TestElectionSpecifications:
+    def test_state_machine_matches_paper_structure(self):
+        spec = election_state_machine_spec("black", ("black", "yellow", "green"))
+        assert spec.notify_list("INIT") == ("yellow", "green")
+        assert spec.notify_list("CRASH") == ("yellow", "green")
+        assert spec.notify_list("LEAD") == ()
+        assert spec.transition("FOLLOW", "LEADER_CRASH") == "ELECT"
+        assert spec.transition("ELECT", "LEADER") == "LEAD"
+
+    def test_fault_helpers_match_section_5_4(self):
+        assert leader_fault("black").to_text() == "bfault1 (black:LEAD) always"
+        assert correlated_follower_fault("black", "green").to_text() == (
+            "gfault2 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) once"
+        )
+        assert uncorrelated_follower_fault("green").to_text() == (
+            "gfault3 ((green:FOLLOW) | (green:ELECT)) once"
+        )
+
+
+class TestElectionEndToEnd:
+    def run_study1(self, experiments=4, success_probability=1.0, seed=21):
+        study = build_election_study(
+            "study1",
+            {"black": (leader_fault("black"),)},
+            experiments=experiments,
+            parameters_by_machine=election_parameters(favored="black"),
+            restart_policy=RestartPolicy(
+                enabled=True, delay=0.04, max_restarts=1, restart_host="next",
+                success_probability=success_probability,
+            ),
+            experiment_timeout=3.0,
+            seed=seed,
+        )
+        return study, run_single_study(study)
+
+    def test_leader_elected_and_fault_injected(self):
+        _, result = self.run_study1(experiments=2)
+        for experiment in result.experiments:
+            assert experiment.completed
+            black = experiment.local_timelines["black"]
+            states = [record.new_state for record in black.state_changes()]
+            assert "LEAD" in states
+            assert [record.fault for record in black.fault_injections()] == ["bfault1"] or (
+                len(black.fault_injections()) >= 1
+            )
+
+    def test_followers_detect_leader_crash(self):
+        _, result = self.run_study1(experiments=2)
+        experiment = result.experiments[0]
+        follower_states = [
+            record.new_state
+            for record in experiment.local_timelines["green"].state_changes()
+        ]
+        # After the leader crashes the follower re-enters ELECT.
+        assert follower_states.count("ELECT") >= 2
+
+    def test_analysis_accepts_most_experiments(self):
+        _, result = self.run_study1(experiments=4)
+        analysis = analyze_study(result)
+        assert len(analysis.accepted()) >= 3
+        assert correct_injection_fraction(analysis.experiments) > 0.7
+
+    def test_coverage_measure_estimates_restart_probability(self):
+        _, result = self.run_study1(experiments=10, success_probability=1.0)
+        analysis = analyze_study(result)
+        values = [v for v in analysis.measure_values(coverage_measure()) if v is not None]
+        assert values, "expected surviving experiments"
+        assert sum(values) / len(values) == pytest.approx(1.0)
+
+    def test_stratified_weighted_coverage_across_studies(self):
+        # Two small studies with different (known) recovery probabilities.
+        results = {}
+        for name, probability, seed in (("s1", 1.0, 3), ("s2", 0.0, 4)):
+            study = build_election_study(
+                name,
+                {"black": (leader_fault("black"),)},
+                experiments=4,
+                parameters_by_machine=election_parameters(favored="black"),
+                restart_policy=RestartPolicy(
+                    enabled=(probability > 0), delay=0.04, max_restarts=1,
+                    success_probability=probability,
+                ),
+                experiment_timeout=3.0,
+                seed=seed,
+            )
+            analysis = analyze_study(run_single_study(study))
+            results[name] = analysis.measure_values(coverage_measure())
+        weighted = StratifiedWeightedMeasure("coverage", {"s1": 3.0, "s2": 1.0})
+        estimate = weighted.estimate(results)
+        assert estimate.value == pytest.approx(0.75, abs=0.15)
+        pooled = SimpleSamplingMeasure("coverage-pooled").estimate(results)
+        assert 0.0 <= pooled.value <= 1.0
+
+
+class TestReplicationEndToEnd:
+    def test_replication_study_runs_and_faults_target_global_state(self):
+        study = build_replication_study("rep", experiments=3, seed=5)
+        result = run_single_study(study)
+        injected = 0
+        for experiment in result.experiments:
+            assert experiment.completed
+            primary = experiment.local_timelines["replica1"]
+            states = [record.new_state for record in primary.state_changes()]
+            assert states[0] == "INIT"
+            assert "PRIMARY" in states
+            injected += len(primary.fault_injections())
+            backup_states = [
+                record.new_state
+                for record in experiment.local_timelines["replica2"].state_changes()
+            ]
+            assert "SYNC" in backup_states
+        assert injected >= 1
+
+    def test_backup_takes_over_after_primary_crash(self):
+        parameters = ReplicationParameters(run_duration=0.8, primary="replica1")
+        study = build_replication_study("rep", experiments=2, parameters=parameters, seed=9)
+        result = run_single_study(study)
+        took_over = 0
+        for experiment in result.experiments:
+            primary_timeline = experiment.local_timelines["replica1"]
+            if primary_timeline.final_state() != "CRASH":
+                continue
+            backup_states = [
+                record.new_state
+                for record in experiment.local_timelines["replica2"].state_changes()
+            ]
+            if "PRIMARY" in backup_states:
+                took_over += 1
+        assert took_over >= 1
+
+    def test_spec_and_fault_helpers(self):
+        spec = replication_state_machine_spec("replica1", ("replica1", "replica2"))
+        assert spec.transition("BACKUP", "SYNC_START") == "SYNC"
+        assert spec.notify_list("PRIMARY") == ("replica2",)
+        fault = primary_during_sync_fault("replica1", "replica2")
+        assert fault.evaluate({"replica1": "PRIMARY", "replica2": "SYNC"})
+        assert not fault.evaluate({"replica1": "PRIMARY", "replica2": "BACKUP"})
+
+
+class TestTogglePipeline:
+    def test_longer_dwell_times_yield_more_correct_injections(self):
+        fractions = {}
+        for dwell in (0.002, 0.050):
+            study = build_toggle_study(
+                f"dwell-{dwell}", dwell_time=dwell, timeslice=0.010,
+                cycles=6, experiments=2, seed=13,
+            )
+            analysis = analyze_study(run_single_study(study))
+            fractions[dwell] = correct_injection_fraction(analysis.experiments)
+        assert fractions[0.050] > fractions[0.002]
+        assert fractions[0.050] > 0.6

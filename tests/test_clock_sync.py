@@ -1,0 +1,183 @@
+"""Tests for offline clock synchronization (bounds always contain the truth)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.clock_sync import (
+    ClockBounds,
+    SyncMessageRecord,
+    estimate_all_bounds,
+    estimate_clock_bounds,
+    select_reference_host,
+)
+from repro.errors import ClockSynchronizationError
+from repro.sim.clock import ClockParameters, HardwareClock
+
+
+def make_sync_messages(
+    reference_clock,
+    machine_clock,
+    phases=((0.0, 20), (1.0, 20)),
+    delay=200e-6,
+    jitter=50e-6,
+    seed=1,
+):
+    """Simulate getstamps exchanges between two hosts with known clocks."""
+    import random
+
+    rng = random.Random(seed)
+    messages = []
+    for phase_start, count in phases:
+        for index in range(count):
+            send_physical = phase_start + index * 0.001
+            recv_physical = send_physical + delay + rng.random() * jitter
+            messages.append(
+                SyncMessageRecord(
+                    sender="ref",
+                    receiver="other",
+                    send_time=reference_clock.read(send_physical),
+                    receive_time=machine_clock.read(recv_physical),
+                )
+            )
+            send_physical = phase_start + index * 0.001 + 0.0005
+            recv_physical = send_physical + delay + rng.random() * jitter
+            messages.append(
+                SyncMessageRecord(
+                    sender="other",
+                    receiver="ref",
+                    send_time=machine_clock.read(send_physical),
+                    receive_time=reference_clock.read(recv_physical),
+                )
+            )
+    return messages
+
+
+class TestClockBounds:
+    def test_identity(self):
+        bounds = ClockBounds.identity()
+        assert bounds.alpha_width == 0.0
+        assert bounds.beta_width == 0.0
+        assert bounds.contains(0.0, 1.0)
+        assert bounds.project_to_reference(5.0) == (pytest.approx(5.0), pytest.approx(5.0))
+
+    def test_projection_with_rectangle_corners(self):
+        bounds = ClockBounds(alpha_lower=-0.001, alpha_upper=0.001,
+                             beta_lower=0.9999, beta_upper=1.0001)
+        lower, upper = bounds.project_to_reference(10.0)
+        assert lower < 10.0 < upper
+        assert upper - lower == pytest.approx(
+            (10.0 + 0.001) / 0.9999 - (10.0 - 0.001) / 1.0001
+        )
+
+    def test_projection_uses_polygon_vertices_when_present(self):
+        rectangle = ClockBounds(-0.001, 0.001, 0.999, 1.001)
+        polygon = ClockBounds(-0.001, 0.001, 0.999, 1.001,
+                              vertices=((0.0005, 1.0), (-0.0005, 1.0)))
+        loose = rectangle.project_to_reference(100.0)
+        tight = polygon.project_to_reference(100.0)
+        assert (tight[1] - tight[0]) < (loose[1] - loose[0])
+
+    def test_midpoints(self):
+        bounds = ClockBounds(0.0, 2.0, 0.5, 1.5)
+        assert bounds.alpha_midpoint == pytest.approx(1.0)
+        assert bounds.beta_midpoint == pytest.approx(1.0)
+
+
+class TestReferenceSelection:
+    def test_fastest_clock_selected(self):
+        rates = {"hosta": 1.00001, "hostb": 1.00005, "hostc": 0.99998}
+        assert select_reference_host(rates) == "hostb"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClockSynchronizationError):
+            select_reference_host({})
+
+    def test_deterministic_tie_break(self):
+        rates = {"b": 1.0, "a": 1.0}
+        assert select_reference_host(rates) == select_reference_host(dict(reversed(rates.items())))
+
+
+class TestEstimation:
+    def test_reference_machine_gets_identity(self):
+        bounds = estimate_clock_bounds([], "ref", "ref")
+        assert bounds == ClockBounds.identity()
+
+    def test_bounds_contain_true_alpha_beta(self):
+        reference = HardwareClock(ClockParameters(offset=0.002, rate=1.00004))
+        other = HardwareClock(ClockParameters(offset=-0.003, rate=0.99996))
+        messages = make_sync_messages(reference, other)
+        bounds = estimate_clock_bounds(messages, "other", "ref")
+        alpha, beta = other.relative_to(reference)
+        assert bounds.contains(alpha, beta)
+
+    def test_bounds_are_tight_on_a_lan(self):
+        reference = HardwareClock(ClockParameters(offset=0.001, rate=1.00002))
+        other = HardwareClock(ClockParameters(offset=-0.004, rate=0.99997))
+        messages = make_sync_messages(reference, other, delay=150e-6, jitter=30e-6)
+        bounds = estimate_clock_bounds(messages, "other", "ref")
+        assert bounds.alpha_width < 0.002
+        assert bounds.beta_width < 0.01
+
+    def test_projection_contains_true_reference_time(self):
+        reference = HardwareClock(ClockParameters(offset=0.002, rate=1.00004))
+        other = HardwareClock(ClockParameters(offset=-0.003, rate=0.99996))
+        messages = make_sync_messages(reference, other)
+        bounds = estimate_clock_bounds(messages, "other", "ref")
+        for physical in (0.1, 0.5, 0.9):
+            local = other.read(physical)
+            true_reference = reference.read(physical)
+            lower, upper = bounds.project_to_reference(local)
+            assert lower - 1e-9 <= true_reference <= upper + 1e-9
+
+    def test_more_messages_do_not_widen_bounds(self):
+        reference = HardwareClock(ClockParameters(offset=0.0, rate=1.00001))
+        other = HardwareClock(ClockParameters(offset=0.001, rate=0.99999))
+        few = make_sync_messages(reference, other, phases=((0.0, 5), (1.0, 5)))
+        many = make_sync_messages(reference, other, phases=((0.0, 40), (1.0, 40)))
+        bounds_few = estimate_clock_bounds(few, "other", "ref")
+        bounds_many = estimate_clock_bounds(many, "other", "ref")
+        assert bounds_many.alpha_width <= bounds_few.alpha_width + 1e-12
+        assert bounds_many.beta_width <= bounds_few.beta_width + 1e-12
+
+    def test_unidirectional_messages_rejected_as_unbounded(self):
+        reference = HardwareClock()
+        other = HardwareClock(ClockParameters(offset=0.001))
+        messages = [
+            message
+            for message in make_sync_messages(reference, other)
+            if message.sender == "ref"
+        ]
+        with pytest.raises(ClockSynchronizationError):
+            estimate_clock_bounds(messages, "other", "ref")
+
+    def test_no_messages_rejected(self):
+        with pytest.raises(ClockSynchronizationError):
+            estimate_clock_bounds([], "other", "ref")
+
+    def test_estimate_all_bounds(self):
+        reference = HardwareClock()
+        other = HardwareClock(ClockParameters(offset=0.001, rate=1.00001))
+        messages = make_sync_messages(reference, other)
+        bounds = estimate_all_bounds(messages, ["ref", "other"], "ref")
+        assert bounds["ref"] == ClockBounds.identity()
+        assert bounds["other"].alpha_width > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    offset=st.floats(min_value=-0.01, max_value=0.01),
+    drift_ppm=st.floats(min_value=-200, max_value=200),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_bounds_always_contain_truth(offset, drift_ppm, seed):
+    """Whatever the true offset/drift, the estimated bounds must contain it."""
+    reference = HardwareClock(ClockParameters(offset=0.0, rate=1.0))
+    other = HardwareClock(ClockParameters(offset=offset, rate=1.0 + drift_ppm * 1e-6))
+    messages = make_sync_messages(reference, other, seed=seed)
+    bounds = estimate_clock_bounds(messages, "other", "ref")
+    alpha, beta = other.relative_to(reference)
+    assert bounds.contains(alpha, beta)
+    # The projection of any event time must also contain the true value.
+    local = other.read(0.5)
+    lower, upper = bounds.project_to_reference(local)
+    assert lower - 1e-9 <= reference.read(0.5) <= upper + 1e-9

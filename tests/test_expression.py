@@ -1,0 +1,165 @@
+"""Unit and property-based tests for Boolean fault expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.expression import And, Not, Or, StateAtom, conjunction, disjunction, parse_expression
+from repro.errors import ExpressionError
+
+
+class TestAtoms:
+    def test_atom_true_when_machine_in_state(self):
+        atom = StateAtom("SM1", "ELECT")
+        assert atom.evaluate({"SM1": "ELECT"})
+        assert not atom.evaluate({"SM1": "FOLLOW"})
+
+    def test_atom_false_when_machine_unknown(self):
+        assert not StateAtom("SM1", "ELECT").evaluate({})
+
+    def test_atom_text(self):
+        assert StateAtom("SM1", "ELECT").to_text() == "(SM1:ELECT)"
+
+    def test_machines_and_atoms(self):
+        atom = StateAtom("black", "LEAD")
+        assert atom.machines() == frozenset({"black"})
+        assert atom.atoms() == frozenset({atom})
+
+
+class TestOperators:
+    view = {"SM1": "ELECT", "SM2": "FOLLOW", "SM3": "CRASH"}
+
+    def test_and(self):
+        expression = And(StateAtom("SM1", "ELECT"), StateAtom("SM2", "FOLLOW"))
+        assert expression.evaluate(self.view)
+        assert not expression.evaluate({"SM1": "ELECT", "SM2": "LEAD"})
+
+    def test_or(self):
+        expression = Or(StateAtom("SM1", "LEAD"), StateAtom("SM2", "FOLLOW"))
+        assert expression.evaluate(self.view)
+        assert not expression.evaluate({"SM1": "X", "SM2": "Y"})
+
+    def test_not(self):
+        assert Not(StateAtom("SM1", "LEAD")).evaluate(self.view)
+        assert not Not(StateAtom("SM1", "ELECT")).evaluate(self.view)
+
+    def test_nested_machines(self):
+        expression = And(
+            StateAtom("SM1", "A"), Or(StateAtom("SM2", "B"), Not(StateAtom("SM3", "C")))
+        )
+        assert expression.machines() == frozenset({"SM1", "SM2", "SM3"})
+        assert len(expression.atoms()) == 3
+
+    def test_conjunction_and_disjunction_helpers(self):
+        atoms = [StateAtom("A", "X"), StateAtom("B", "Y"), StateAtom("C", "Z")]
+        assert conjunction(atoms).evaluate({"A": "X", "B": "Y", "C": "Z"})
+        assert not conjunction(atoms).evaluate({"A": "X", "B": "Y"})
+        assert disjunction(atoms).evaluate({"C": "Z"})
+        with pytest.raises(ExpressionError):
+            conjunction([])
+        with pytest.raises(ExpressionError):
+            disjunction([])
+
+
+class TestParser:
+    def test_parse_single_atom(self):
+        expression = parse_expression("(SM1:ELECT)")
+        assert expression == StateAtom("SM1", "ELECT")
+
+    def test_parse_atom_without_parentheses(self):
+        assert parse_expression("SM1:ELECT") == StateAtom("SM1", "ELECT")
+
+    def test_parse_paper_example(self):
+        expression = parse_expression("((SM1:ELECT) & (SM2:FOLLOW))")
+        assert expression.evaluate({"SM1": "ELECT", "SM2": "FOLLOW"})
+        assert not expression.evaluate({"SM1": "ELECT", "SM2": "ELECT"})
+
+    def test_parse_chapter5_gfault2(self):
+        expression = parse_expression("((black:CRASH) & ((green:FOLLOW) | (green:ELECT)))")
+        assert expression.evaluate({"black": "CRASH", "green": "FOLLOW"})
+        assert expression.evaluate({"black": "CRASH", "green": "ELECT"})
+        assert not expression.evaluate({"black": "CRASH", "green": "LEAD"})
+        assert not expression.evaluate({"black": "LEAD", "green": "FOLLOW"})
+
+    def test_parse_not(self):
+        expression = parse_expression("~(SM1:LEAD)")
+        assert expression.evaluate({"SM1": "FOLLOW"})
+        assert not expression.evaluate({"SM1": "LEAD"})
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        expression = parse_expression("(A:X) | (B:Y) & (C:Z)")
+        # Must parse as A:X | (B:Y & C:Z).
+        assert expression.evaluate({"A": "X"})
+        assert expression.evaluate({"B": "Y", "C": "Z"})
+        assert not expression.evaluate({"B": "Y"})
+
+    def test_roundtrip_through_text(self):
+        source = "((black:CRASH) & ((green:FOLLOW) | (~(yellow:LEAD))))"
+        expression = parse_expression(source)
+        assert parse_expression(expression.to_text()) == expression
+
+    def test_whitespace_insensitive(self):
+        a = parse_expression("((SM1:ELECT)&(SM2:FOLLOW))")
+        b = parse_expression("( ( SM1 : ELECT )  &  ( SM2 : FOLLOW ) )")
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "()",
+            "(SM1:)",
+            "(SM1:A) &",
+            "(SM1:A) (SM2:B)",
+            "(SM1:A) ? (SM2:B)",
+            "((SM1:A)",
+        ],
+    )
+    def test_malformed_expressions_rejected(self, bad):
+        with pytest.raises(ExpressionError):
+            parse_expression(bad)
+
+
+# -- property-based tests -------------------------------------------------------------
+
+_machines = st.sampled_from(["SM1", "SM2", "SM3"])
+_states = st.sampled_from(["A", "B", "C"])
+
+
+def _expressions(depth=3):
+    atom = st.builds(StateAtom, _machines, _states)
+    if depth == 0:
+        return atom
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        atom,
+        st.builds(Not, sub),
+        st.builds(And, sub, sub),
+        st.builds(Or, sub, sub),
+    )
+
+
+_views = st.dictionaries(_machines, _states, max_size=3)
+
+
+@given(expression=_expressions(), view=_views)
+def test_text_roundtrip_preserves_semantics(expression, view):
+    reparsed = parse_expression(expression.to_text())
+    assert reparsed.evaluate(view) == expression.evaluate(view)
+
+
+@given(expression=_expressions(), view=_views)
+def test_double_negation_preserves_value(expression, view):
+    assert Not(Not(expression)).evaluate(view) == expression.evaluate(view)
+
+
+@given(expression=_expressions(), view=_views)
+def test_de_morgan(expression, view):
+    other = StateAtom("SM1", "A")
+    lhs = Not(And(expression, other)).evaluate(view)
+    rhs = Or(Not(expression), Not(other)).evaluate(view)
+    assert lhs == rhs
+
+
+@given(expression=_expressions())
+def test_machines_is_union_of_atom_machines(expression):
+    assert expression.machines() == frozenset(atom.machine for atom in expression.atoms())

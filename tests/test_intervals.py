@@ -1,0 +1,150 @@
+"""Unit and property-based tests for the closed-interval set algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.intervals import Interval, IntervalSet
+from repro.errors import AnalysisError
+
+
+class TestInterval:
+    def test_length_and_contains(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.length == pytest.approx(2.0)
+        assert interval.contains(1.0)
+        assert interval.contains(3.0)
+        assert not interval.contains(3.0001)
+
+    def test_point_interval(self):
+        point = Interval(2.0, 2.0)
+        assert point.length == 0.0
+        assert point.contains(2.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(AnalysisError):
+            Interval(3.0, 1.0)
+
+    def test_overlap_and_intersection(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 3))
+        assert not Interval(0, 10).contains_interval(Interval(5, 11))
+
+    def test_clip(self):
+        assert Interval(0, 10).clip(2, 4) == Interval(2, 4)
+        assert Interval(0, 1).clip(5, 6) is None
+
+
+class TestIntervalSet:
+    def test_normalization_merges_overlaps_and_touching(self):
+        merged = IntervalSet.from_pairs([(0, 2), (1, 3), (3, 4), (6, 7)])
+        assert merged.pairs() == ((0, 4), (6, 7))
+
+    def test_empty(self):
+        assert IntervalSet.empty().is_empty
+        assert IntervalSet.empty().total_length() == 0.0
+
+    def test_union(self):
+        a = IntervalSet.from_pairs([(0, 1), (5, 6)])
+        b = IntervalSet.from_pairs([(0.5, 2)])
+        assert a.union(b).pairs() == ((0, 2), (5, 6))
+
+    def test_intersection(self):
+        a = IntervalSet.from_pairs([(0, 4), (6, 10)])
+        b = IntervalSet.from_pairs([(3, 7)])
+        assert a.intersection(b).pairs() == ((3, 4), (6, 7))
+
+    def test_complement(self):
+        a = IntervalSet.from_pairs([(2, 3), (5, 6)])
+        assert a.complement(0, 10).pairs() == ((0, 2), (3, 5), (6, 10))
+
+    def test_complement_of_empty_is_window(self):
+        assert IntervalSet.empty().complement(1, 4).pairs() == ((1, 4),)
+
+    def test_complement_invalid_window(self):
+        with pytest.raises(AnalysisError):
+            IntervalSet.empty().complement(5, 1)
+
+    def test_difference(self):
+        a = IntervalSet.from_pairs([(0, 10)])
+        b = IntervalSet.from_pairs([(2, 3), (8, 12)])
+        assert a.difference(b).pairs() == ((0, 2), (3, 8))
+
+    def test_contains_point_and_interval(self):
+        a = IntervalSet.from_pairs([(0, 1), (4, 9)])
+        assert a.contains(0.5)
+        assert a.contains(4.0)
+        assert not a.contains(2.0)
+        assert a.contains_interval(5, 8)
+        assert not a.contains_interval(0.5, 5)
+
+    def test_clip(self):
+        a = IntervalSet.from_pairs([(0, 10)])
+        assert a.clip(3, 4).pairs() == ((3, 4),)
+
+    def test_total_length(self):
+        a = IntervalSet.from_pairs([(0, 1), (2, 4)])
+        assert a.total_length() == pytest.approx(3.0)
+
+    def test_equality_and_hash(self):
+        a = IntervalSet.from_pairs([(0, 1), (1, 2)])
+        b = IntervalSet.from_pairs([(0, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_point_constructor(self):
+        point = IntervalSet.point(3.0)
+        assert point.contains(3.0)
+        assert point.total_length() == 0.0
+
+
+# -- property-based tests ------------------------------------------------------------
+
+_pairs = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ).map(lambda pair: (min(pair), max(pair))),
+    max_size=8,
+)
+_points = st.floats(min_value=-10, max_value=110, allow_nan=False)
+
+
+@given(a=_pairs, b=_pairs, t=_points)
+def test_union_membership_matches_or(a, b, t):
+    sa, sb = IntervalSet.from_pairs(a), IntervalSet.from_pairs(b)
+    assert sa.union(sb).contains(t) == (sa.contains(t) or sb.contains(t))
+
+
+@given(a=_pairs, b=_pairs, t=_points)
+def test_intersection_membership_matches_and(a, b, t):
+    sa, sb = IntervalSet.from_pairs(a), IntervalSet.from_pairs(b)
+    assert sa.intersection(sb).contains(t) == (sa.contains(t) and sb.contains(t))
+
+
+@given(a=_pairs, t=st.floats(min_value=0, max_value=100, allow_nan=False))
+def test_complement_membership_is_negation_interior(a, t):
+    sa = IntervalSet.from_pairs(a)
+    complement = sa.complement(0.0, 100.0)
+    # Boundary points may belong to both closed sets; interior points may not.
+    if not sa.contains(t):
+        assert complement.contains(t)
+
+
+@given(a=_pairs)
+def test_intervals_are_disjoint_and_sorted(a):
+    sa = IntervalSet.from_pairs(a)
+    intervals = sa.intervals
+    for left, right in zip(intervals, intervals[1:]):
+        assert left.end < right.start
+
+
+@given(a=_pairs, b=_pairs)
+def test_union_length_bounds(a, b):
+    sa, sb = IntervalSet.from_pairs(a), IntervalSet.from_pairs(b)
+    union_length = sa.union(sb).total_length()
+    assert union_length <= sa.total_length() + sb.total_length() + 1e-9
+    assert union_length >= max(sa.total_length(), sb.total_length()) - 1e-9

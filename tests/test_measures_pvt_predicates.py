@@ -1,0 +1,168 @@
+"""Tests for predicate value timelines, predicates, and the Figure 4.2 example."""
+
+import pytest
+
+from repro.analysis.intervals import IntervalSet
+from repro.errors import MeasureError
+from repro.measures.predicate import EventTuple, PAnd, PNot, POr, StateTuple, TimeWindow
+from repro.measures.pvt import PredicateTimeline
+from repro.measures.timeline_view import TimelineView
+from repro.paper_data import (
+    FIGURE_4_2_PAPER_VALUES,
+    figure_4_2_observation_functions,
+    figure_4_2_predicates,
+    figure_4_2_view,
+)
+
+
+def timeline(steps=(), impulses=(), start=0.0, end=100.0):
+    return PredicateTimeline(
+        steps=IntervalSet.from_pairs(steps), impulses=impulses, start=start, end=end
+    )
+
+
+class TestPredicateTimeline:
+    def test_value_at(self):
+        pvt = timeline(steps=[(10, 20)], impulses=[5.0])
+        assert pvt.value_at(15)
+        assert pvt.value_at(5.0)
+        assert not pvt.value_at(25)
+
+    def test_steps_clipped_to_extent(self):
+        pvt = timeline(steps=[(50, 200)], end=100.0)
+        assert pvt.steps.pairs() == ((50, 100),)
+
+    def test_impulses_outside_extent_dropped(self):
+        pvt = timeline(impulses=[-5, 20, 150])
+        assert pvt.impulses == (20,)
+
+    def test_effective_impulses_exclude_covered_ones(self):
+        pvt = timeline(steps=[(10, 20)], impulses=[15, 30])
+        assert pvt.effective_impulses() == (30,)
+
+    def test_or_unions_steps_and_impulses(self):
+        combined = timeline(steps=[(0, 10)]) | timeline(steps=[(5, 15)], impulses=[50])
+        assert combined.steps.pairs() == ((0, 15),)
+        assert combined.impulses == (50,)
+
+    def test_and_intersects_steps(self):
+        combined = timeline(steps=[(0, 10)]) & timeline(steps=[(5, 15)])
+        assert combined.steps.pairs() == ((5, 10),)
+
+    def test_and_keeps_impulses_covered_by_other_side(self):
+        left = timeline(impulses=[5, 50])
+        right = timeline(steps=[(0, 10)])
+        combined = left & right
+        assert combined.impulses == (5,)
+
+    def test_not_complements_steps(self):
+        negated = ~timeline(steps=[(10, 20)])
+        assert negated.steps.pairs() == ((0, 10), (20, 100))
+
+    def test_incompatible_extents_rejected(self):
+        with pytest.raises(MeasureError):
+            timeline(end=50.0) | timeline(end=100.0)
+
+    def test_transitions_order_and_kinds(self):
+        pvt = timeline(steps=[(10, 20)], impulses=[5, 15])
+        transitions = pvt.transitions()
+        assert [(t.time, t.edge, t.kind) for t in transitions] == [
+            (5, "U", "I"), (5, "D", "I"), (10, "U", "S"), (20, "D", "S"),
+        ]
+
+    def test_true_duration(self):
+        pvt = timeline(steps=[(10, 20), (30, 35)])
+        assert pvt.true_duration() == pytest.approx(15)
+        assert pvt.true_duration(15, 32) == pytest.approx(7)
+
+
+class TestPredicates:
+    def view(self):
+        rows = [
+            ("m1", "A", "go", 10.0),
+            ("m1", "B", "stop", 20.0),
+            ("m2", "X", "tick", 15.0),
+        ]
+        return TimelineView.from_rows(rows, start=0.0, end=30.0)
+
+    def test_state_tuple_without_window(self):
+        pvt = StateTuple("m1", "A").evaluate(self.view())
+        assert pvt.steps.pairs() == ((0.0, 10.0),)
+
+    def test_state_tuple_with_window(self):
+        pvt = StateTuple("m1", "B", TimeWindow(12, 18)).evaluate(self.view())
+        assert pvt.steps.pairs() == ((12.0, 18.0),)
+
+    def test_state_tuple_unknown_state_is_empty(self):
+        pvt = StateTuple("m1", "MISSING").evaluate(self.view())
+        assert pvt.steps.is_empty
+
+    def test_event_tuple_produces_impulses(self):
+        pvt = EventTuple("m2", "X", "tick").evaluate(self.view())
+        assert pvt.impulses == (15.0,)
+        assert pvt.steps.is_empty
+
+    def test_event_tuple_requires_matching_state(self):
+        pvt = EventTuple("m2", "WRONG", "tick").evaluate(self.view())
+        assert pvt.impulses == ()
+
+    def test_event_tuple_window_must_be_interval(self):
+        with pytest.raises(MeasureError):
+            EventTuple("m2", "X", "tick", TimeWindow.instant(15.0))
+
+    def test_operators_build_composites(self):
+        predicate = (StateTuple("m1", "A") | StateTuple("m1", "B")) & ~StateTuple("m2", "X")
+        assert isinstance(predicate, PAnd)
+        pvt = predicate.evaluate(self.view())
+        # m2 is in X during [0, 15]; NOT gives [15, 30]; m1 in A or B covers [0, 20].
+        assert pvt.steps.pairs() == ((15.0, 20.0),)
+
+    def test_time_window_validation(self):
+        with pytest.raises(MeasureError):
+            TimeWindow(5, 1)
+        assert TimeWindow.instant(3.0).is_instant
+
+
+class TestFigure42WorkedExample:
+    """The worked example of Section 4.3: predicates, timelines, observations."""
+
+    def test_predicate_1_timeline(self):
+        view = figure_4_2_view()
+        predicate_1, _, _ = figure_4_2_predicates()
+        pvt = predicate_1.evaluate(view)
+        assert pvt.steps.pairs() == (
+            (pytest.approx(12.4), pytest.approx(18.9)),
+            (pytest.approx(30.9), pytest.approx(32.3)),
+            (pytest.approx(35.6), pytest.approx(38.9)),
+        )
+        assert pvt.impulses == ()
+
+    def test_predicate_2_timeline(self):
+        view = figure_4_2_view()
+        _, predicate_2, _ = figure_4_2_predicates()
+        pvt = predicate_2.evaluate(view)
+        assert pvt.steps.is_empty
+        assert pvt.impulses == (pytest.approx(22.3), pytest.approx(26.3))
+
+    def test_predicate_3_timeline(self):
+        view = figure_4_2_view()
+        _, _, predicate_3 = figure_4_2_predicates()
+        pvt = predicate_3.evaluate(view)
+        assert pvt.steps.pairs() == (
+            (pytest.approx(13.1), pytest.approx(20.0)),
+            (pytest.approx(32.3), pytest.approx(37.9)),
+        )
+        assert pvt.impulses == (11.2, 21.4, 31.2, 40.6)
+
+    @pytest.mark.parametrize("observation_index, label", [
+        (0, "count(U, B, 10, 35)"),
+        (1, "duration(T, 2, 10, 40)"),
+        (2, "instant(U, I, 2, 0, 50)"),
+    ])
+    def test_observation_values_match_paper(self, observation_index, label):
+        view = figure_4_2_view()
+        observations = figure_4_2_observation_functions()
+        expected = FIGURE_4_2_PAPER_VALUES[label]
+        for predicate, paper_value in zip(figure_4_2_predicates(), expected):
+            value = observations[observation_index](predicate.evaluate(view))
+            assert value == pytest.approx(paper_value, abs=0.11), (label, paper_value)

@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import RuntimePhaseError
+from repro.sim.kernel import SimKernel
+
+
+def test_kernel_starts_at_zero():
+    kernel = SimKernel()
+    assert kernel.now == 0.0
+    assert kernel.pending == 0
+    assert kernel.events_processed == 0
+
+
+def test_kernel_custom_start_time():
+    kernel = SimKernel(start_time=5.0)
+    assert kernel.now == 5.0
+
+
+def test_schedule_and_run_single_event():
+    kernel = SimKernel()
+    fired = []
+    kernel.schedule(1.5, fired.append, "a")
+    kernel.run()
+    assert fired == ["a"]
+    assert kernel.now == pytest.approx(1.5)
+
+
+def test_events_run_in_time_order():
+    kernel = SimKernel()
+    order = []
+    kernel.schedule(3.0, order.append, "late")
+    kernel.schedule(1.0, order.append, "early")
+    kernel.schedule(2.0, order.append, "middle")
+    kernel.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    kernel = SimKernel()
+    order = []
+    for label in ("first", "second", "third"):
+        kernel.schedule(1.0, order.append, label)
+    kernel.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_at_absolute_time():
+    kernel = SimKernel()
+    seen = []
+    kernel.schedule_at(2.5, lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [pytest.approx(2.5)]
+
+
+def test_negative_delay_rejected():
+    kernel = SimKernel()
+    with pytest.raises(RuntimePhaseError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    kernel = SimKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(RuntimePhaseError):
+        kernel.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    kernel = SimKernel()
+    fired = []
+    handle = kernel.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    kernel.run()
+    assert fired == []
+    assert kernel.events_processed == 0
+
+
+def test_run_until_stops_before_later_events():
+    kernel = SimKernel()
+    fired = []
+    kernel.schedule(1.0, fired.append, "a")
+    kernel.schedule(5.0, fired.append, "b")
+    kernel.run(until=2.0)
+    assert fired == ["a"]
+    assert kernel.now == pytest.approx(2.0)
+    kernel.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_max_events_limit():
+    kernel = SimKernel()
+    fired = []
+    for i in range(10):
+        kernel.schedule(float(i + 1), fired.append, i)
+    kernel.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_are_processed():
+    kernel = SimKernel()
+    fired = []
+
+    def chain(step):
+        fired.append(step)
+        if step < 3:
+            kernel.schedule(1.0, chain, step + 1)
+
+    kernel.schedule(1.0, chain, 0)
+    kernel.run()
+    assert fired == [0, 1, 2, 3]
+    assert kernel.now == pytest.approx(4.0)
+
+
+def test_step_returns_false_when_empty():
+    kernel = SimKernel()
+    assert kernel.step() is False
+
+
+def test_pending_counts_only_live_events():
+    kernel = SimKernel()
+    handle = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    assert kernel.pending == 2
+    handle.cancel()
+    assert kernel.pending == 1
+
+
+def test_advance_to_moves_time_forward_only():
+    kernel = SimKernel()
+    kernel.advance_to(4.0)
+    assert kernel.now == 4.0
+    with pytest.raises(RuntimePhaseError):
+        kernel.advance_to(1.0)
+
+
+def test_events_processed_counter():
+    kernel = SimKernel()
+    for i in range(5):
+        kernel.schedule(float(i), lambda: None)
+    kernel.run()
+    assert kernel.events_processed == 5

@@ -1,0 +1,257 @@
+"""Tests for the specification objects and the paper's textual file formats."""
+
+import pytest
+
+from repro.core.expression import StateAtom
+from repro.core.specs import (
+    FaultDefinition,
+    FaultSpecification,
+    FaultTrigger,
+    NodeFileEntry,
+    StudyFile,
+    format_fault_specification,
+    format_node_file,
+    format_state_machine_specification,
+    parse_fault_specification,
+    parse_machines_file,
+    parse_node_file,
+    parse_state_machine_specification,
+)
+from repro.core.specs.files import (
+    DaemonContactEntry,
+    DaemonStartupEntry,
+    format_daemon_contact_file,
+    format_daemon_startup_file,
+    format_study_file,
+    parse_daemon_contact_file,
+    parse_daemon_startup_file,
+    parse_study_file,
+)
+from repro.core.specs.state_machine import StateSpecification, build_specification
+from repro.errors import SpecificationError
+
+# The Section 5.3 specification of the state machine "black", verbatim.
+BLACK_SPEC = """
+global_state_list
+BEGIN
+INIT
+RESTART_SM
+ELECT
+FOLLOW
+LEAD
+CRASH
+EXIT
+end_global_state_list
+event_list
+START
+INIT_DONE
+RESTART
+RESTART_DONE
+LEADER
+FOLLOWER
+LEADER_CRASH
+CRASH
+ERROR
+end_event_list
+
+state INIT notify green yellow
+INIT_DONE ELECT
+ERROR EXIT
+
+state RESTART_SM notify green yellow
+RESTART_DONE FOLLOW
+ERROR EXIT
+
+state ELECT notify
+FOLLOWER FOLLOW
+LEADER LEAD
+CRASH CRASH
+ERROR EXIT
+
+state LEAD notify
+CRASH CRASH
+ERROR EXIT
+
+state FOLLOW notify
+LEADER_CRASH ELECT
+CRASH CRASH
+ERROR EXIT
+
+state CRASH notify green yellow
+
+state EXIT notify
+"""
+
+
+class TestStateMachineSpecification:
+    def test_parse_chapter5_black(self):
+        spec = parse_state_machine_specification(BLACK_SPEC, "black")
+        assert spec.name == "black"
+        assert len(spec.global_states) == 8
+        assert len(spec.events) == 9
+        assert spec.notify_list("INIT") == ("green", "yellow")
+        assert spec.notify_list("ELECT") == ()
+        assert spec.transition("ELECT", "LEADER") == "LEAD"
+        assert spec.transition("FOLLOW", "LEADER_CRASH") == "ELECT"
+        assert spec.transition("LEAD", "LEADER") is None
+
+    def test_roundtrip_through_format(self):
+        spec = parse_state_machine_specification(BLACK_SPEC, "black")
+        text = format_state_machine_specification(spec)
+        reparsed = parse_state_machine_specification(text, "black")
+        assert reparsed == spec
+
+    def test_reachability(self):
+        spec = parse_state_machine_specification(BLACK_SPEC, "black")
+        reachable = spec.reachable_states("INIT")
+        assert "LEAD" in reachable
+        assert "RESTART_SM" not in reachable
+
+    def test_default_event_wildcard(self):
+        spec = build_specification(
+            "sm",
+            ["A", "B"],
+            ["go"],
+            [StateSpecification("A", transitions={"default": "B"})],
+        )
+        assert spec.transition("A", "anything") == "B"
+
+    def test_unknown_state_in_transition_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_specification(
+                "sm",
+                ["A"],
+                ["go"],
+                [StateSpecification("A", transitions={"go": "MISSING"})],
+            )
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_specification(
+                "sm",
+                ["A", "B"],
+                ["go"],
+                [StateSpecification("A", transitions={"jump": "B"})],
+            )
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_specification("sm", ["A", "A"], [], [])
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_state_machine_specification("global_state_list\nA\n", "sm")
+
+    def test_transition_outside_state_block_rejected(self):
+        bad = (
+            "global_state_list\nA\nend_global_state_list\n"
+            "event_list\ngo\nend_event_list\ngo A\n"
+        )
+        with pytest.raises(SpecificationError):
+            parse_state_machine_specification(bad, "sm")
+
+
+class TestFaultSpecification:
+    def test_parse_paper_example(self):
+        spec = parse_fault_specification("F1 ((SM1:ELECT) & (SM2:FOLLOW)) always\n")
+        assert spec.names() == ("F1",)
+        fault = spec.get("F1")
+        assert fault.trigger is FaultTrigger.ALWAYS
+        assert fault.evaluate({"SM1": "ELECT", "SM2": "FOLLOW"})
+
+    def test_parse_chapter5_specification(self):
+        text = (
+            "bfault1 (black:LEAD) always\n"
+            "gfault2 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) once\n"
+        )
+        spec = parse_fault_specification(text)
+        assert spec.names() == ("bfault1", "gfault2")
+        assert spec.get("gfault2").trigger is FaultTrigger.ONCE
+        assert spec.machines() == frozenset({"black", "green"})
+
+    def test_roundtrip(self):
+        text = "bfault1 (black:LEAD) always\ngfault3 ((green:FOLLOW) | (green:ELECT)) once\n"
+        spec = parse_fault_specification(text)
+        assert parse_fault_specification(format_fault_specification(spec)) == spec
+
+    def test_comments_and_blank_lines_ignored(self):
+        spec = parse_fault_specification("# comment\n\nF1 (A:B) once\n")
+        assert len(spec) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_fault_specification("F1 (A:B)\n")
+
+    def test_bad_trigger_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_fault_specification("F1 (A:B) sometimes\n")
+
+    def test_duplicate_fault_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_fault_specification("F1 (A:B) once\nF1 (A:C) once\n")
+
+    def test_should_fire_edge_semantics(self):
+        once = FaultDefinition("f", StateAtom("A", "X"), FaultTrigger.ONCE)
+        always = FaultDefinition("g", StateAtom("A", "X"), FaultTrigger.ALWAYS)
+        assert once.should_fire(previous=False, current=True, already_fired=False)
+        assert not once.should_fire(previous=False, current=True, already_fired=True)
+        assert not once.should_fire(previous=True, current=True, already_fired=False)
+        assert always.should_fire(previous=False, current=True, already_fired=True)
+        assert not always.should_fire(previous=True, current=True, already_fired=True)
+        assert not always.should_fire(previous=False, current=False, already_fired=False)
+
+
+class TestSupportFiles:
+    def test_node_file_roundtrip(self):
+        text = "black hosta\nyellow hostb\ngreen\n"
+        entries = parse_node_file(text)
+        assert entries[0] == NodeFileEntry("black", "hosta")
+        assert entries[2].host is None
+        assert not entries[2].starts_at_beginning
+        assert parse_node_file(format_node_file(entries)) == entries
+
+    def test_node_file_duplicate_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_node_file("black hosta\nblack hostb\n")
+
+    def test_node_file_too_many_fields_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_node_file("black hosta extra\n")
+
+    def test_daemon_startup_file_roundtrip(self):
+        entries = parse_daemon_startup_file("hosta 9000\nhostb 9001\n")
+        assert entries == (DaemonStartupEntry("hosta", 9000), DaemonStartupEntry("hostb", 9001))
+        assert parse_daemon_startup_file(format_daemon_startup_file(entries)) == entries
+
+    def test_daemon_startup_bad_port_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_daemon_startup_file("hosta not-a-port\n")
+
+    def test_daemon_contact_file_roundtrip(self):
+        entries = parse_daemon_contact_file("hosta 12 13\nhostb 22 23\n")
+        assert entries[0] == DaemonContactEntry("hosta", 12, 13)
+        assert parse_daemon_contact_file(format_daemon_contact_file(entries)) == entries
+
+    def test_machines_file(self):
+        assert parse_machines_file("hosta\nhostb\n# comment\n") == ("hosta", "hostb")
+        with pytest.raises(SpecificationError):
+            parse_machines_file("hosta\nhosta\n")
+
+    def test_study_file_roundtrip(self):
+        study = StudyFile(
+            nickname="black",
+            node_file="nodes.txt",
+            state_machine_specification_file="black.sm",
+            fault_specification_file="black.faults",
+            executable="/usr/bin/election",
+            arguments=("--id", "black"),
+        )
+        assert parse_study_file(format_study_file(study)) == study
+
+    def test_study_file_without_arguments(self):
+        parsed = parse_study_file("black\nnodes\nblack.sm\nblack.f\n/bin/app\n")
+        assert parsed.arguments == ()
+
+    def test_study_file_too_short_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_study_file("black\nnodes\n")

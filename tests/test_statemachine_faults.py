@@ -1,0 +1,274 @@
+"""Tests for the state machine, fault parser, probe, and recorder components."""
+
+import pytest
+
+from repro.core.expression import And, StateAtom
+from repro.core.faults import FaultParser
+from repro.core.probe import CallbackProbe
+from repro.core.recorder import Recorder
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.specs.state_machine import StateSpecification, build_specification
+from repro.core.statemachine import StateMachine
+from repro.core.runtime.transport import LoopbackTransport
+from repro.core.timeline import LocalTimeline, RecordKind
+from repro.errors import RuntimePhaseError
+
+
+def toggle_spec(name, notify=()):
+    return build_specification(
+        name,
+        ["BEGIN", "IDLE", "ACTIVE", "EXIT"],
+        ["GO_ACTIVE", "GO_IDLE", "DONE"],
+        [
+            StateSpecification("IDLE", notify=notify,
+                               transitions={"GO_ACTIVE": "ACTIVE", "DONE": "EXIT"}),
+            StateSpecification("ACTIVE", notify=notify,
+                               transitions={"GO_IDLE": "IDLE", "DONE": "EXIT"}),
+            StateSpecification("EXIT", notify=notify, transitions={}),
+        ],
+    )
+
+
+class ManualClock:
+    def __init__(self):
+        self.time = 0.0
+
+    def __call__(self):
+        return self.time
+
+    def advance(self, dt):
+        self.time += dt
+        return self.time
+
+
+def make_machine(name="sm1", notify=(), faults=None, clock=None):
+    clock = clock or ManualClock()
+    timeline = LocalTimeline(
+        machine=name,
+        state_machines=(name,),
+        global_states=("BEGIN", "IDLE", "ACTIVE", "EXIT", "CRASH", "RESTART"),
+        events=("GO_ACTIVE", "GO_IDLE", "DONE", "CRASH", "RESTART", "default"),
+        faults=faults or FaultSpecification(),
+    )
+    recorder = Recorder(timeline, clock=clock, host="hosta")
+    parser = FaultParser(faults or FaultSpecification(), recorder=recorder)
+    machine = StateMachine(toggle_spec(name, notify), recorder, fault_parser=parser, clock=clock)
+    return machine, parser, timeline, clock
+
+
+class TestStateMachine:
+    def test_initial_state_is_begin(self):
+        machine, _, _, _ = make_machine()
+        assert machine.current_state == "BEGIN"
+        assert not machine.initialized
+
+    def test_first_notification_sets_initial_state(self):
+        machine, _, timeline, _ = make_machine()
+        machine.notify_event("IDLE")
+        assert machine.initialized
+        assert machine.current_state == "IDLE"
+        record = timeline.records[0]
+        assert record.kind is RecordKind.STATE_CHANGE
+        assert record.new_state == "IDLE"
+        assert record.event == "default"
+
+    def test_events_drive_transitions(self):
+        machine, _, timeline, clock = make_machine()
+        machine.notify_event("IDLE")
+        clock.advance(0.5)
+        machine.notify_event("GO_ACTIVE")
+        assert machine.current_state == "ACTIVE"
+        clock.advance(0.5)
+        machine.notify_event("GO_IDLE")
+        assert machine.current_state == "IDLE"
+        assert [record.new_state for record in timeline.state_changes()] == [
+            "IDLE", "ACTIVE", "IDLE",
+        ]
+        assert timeline.state_changes()[1].time == pytest.approx(0.5)
+
+    def test_unknown_event_is_ignored_and_remembered(self):
+        machine, _, timeline, _ = make_machine()
+        machine.notify_event("IDLE")
+        machine.notify_event("GO_IDLE")  # no transition from IDLE on GO_IDLE
+        assert machine.current_state == "IDLE"
+        assert machine.ignored_events == [("IDLE", "GO_IDLE")]
+        assert len(timeline.state_changes()) == 1
+
+    def test_partial_view_tracks_self_and_remotes(self):
+        machine, _, _, _ = make_machine()
+        machine.notify_event("IDLE")
+        machine.receive_remote_state("sm2", "ACTIVE")
+        view = machine.partial_view
+        assert view["sm1"] == "IDLE"
+        assert view["sm2"] == "ACTIVE"
+
+    def test_duplicate_remote_state_does_not_retrigger_parser(self):
+        faults = FaultSpecification.from_definitions(
+            [FaultDefinition("f", StateAtom("sm2", "ACTIVE"), FaultTrigger.ALWAYS)]
+        )
+        machine, parser, _, _ = make_machine(faults=faults)
+        machine.notify_event("IDLE")
+        machine.receive_remote_state("sm2", "ACTIVE")
+        machine.receive_remote_state("sm2", "ACTIVE")
+        assert len(parser.injections) == 1
+
+    def test_notifications_sent_to_notify_list(self):
+        transport = LoopbackTransport()
+        sender, _, _, _ = make_machine("sm1", notify=("sm2",))
+        receiver, _, _, _ = make_machine("sm2")
+        transport.register(sender)
+        transport.register(receiver)
+        sender.notify_event("IDLE")
+        sender.notify_event("GO_ACTIVE")
+        assert receiver.partial_view["sm1"] == "ACTIVE"
+
+    def test_crash_records_crash_state(self):
+        machine, _, timeline, clock = make_machine()
+        machine.notify_event("IDLE")
+        clock.advance(1.0)
+        machine.notify_on_crash()
+        assert machine.crashed
+        assert timeline.final_state() == "CRASH"
+        with pytest.raises(RuntimePhaseError):
+            machine.notify_event("GO_ACTIVE")
+
+    def test_exit_marks_machine_exited(self):
+        machine, _, _, _ = make_machine()
+        machine.notify_event("IDLE")
+        machine.notify_on_exit()
+        assert machine.exited
+        with pytest.raises(RuntimePhaseError):
+            machine.notify_event("GO_ACTIVE")
+
+    def test_bulk_update_view(self):
+        faults = FaultSpecification.from_definitions(
+            [FaultDefinition("f", And(StateAtom("a", "X"), StateAtom("b", "Y")),
+                             FaultTrigger.ONCE)]
+        )
+        machine, parser, _, _ = make_machine(faults=faults)
+        machine.notify_event("IDLE")
+        machine.bulk_update_view({"a": "X", "b": "Y"})
+        assert len(parser.injections) == 1
+
+
+class TestFaultParser:
+    def make_parser(self, definitions, injector=None):
+        faults = FaultSpecification.from_definitions(definitions)
+        probe = CallbackProbe(injector)
+        machine, parser, timeline, clock = make_machine(faults=faults)
+        probe.attach(machine)
+        parser.attach_probe(probe)
+        return machine, parser, probe, timeline, clock
+
+    def test_positive_edge_triggered(self):
+        machine, parser, probe, _, _ = self.make_parser(
+            [FaultDefinition("f", StateAtom("sm1", "ACTIVE"), FaultTrigger.ALWAYS)]
+        )
+        machine.notify_event("IDLE")
+        assert parser.injections == []
+        machine.notify_event("GO_ACTIVE")
+        assert len(parser.injections) == 1
+        # Staying true must not retrigger.
+        machine.receive_remote_state("other", "ANY")
+        assert len(parser.injections) == 1
+
+    def test_always_fires_on_every_entry(self):
+        machine, parser, _, _, _ = self.make_parser(
+            [FaultDefinition("f", StateAtom("sm1", "ACTIVE"), FaultTrigger.ALWAYS)]
+        )
+        machine.notify_event("IDLE")
+        for _ in range(3):
+            machine.notify_event("GO_ACTIVE")
+            machine.notify_event("GO_IDLE")
+        assert len(parser.injections) == 3
+
+    def test_once_fires_only_first_time(self):
+        machine, parser, _, _, _ = self.make_parser(
+            [FaultDefinition("f", StateAtom("sm1", "ACTIVE"), FaultTrigger.ONCE)]
+        )
+        machine.notify_event("IDLE")
+        for _ in range(3):
+            machine.notify_event("GO_ACTIVE")
+            machine.notify_event("GO_IDLE")
+        assert len(parser.injections) == 1
+        assert parser.fired("f")
+
+    def test_injection_recorded_on_timeline(self):
+        machine, parser, _, timeline, clock = self.make_parser(
+            [FaultDefinition("f", StateAtom("sm1", "ACTIVE"), FaultTrigger.ONCE)]
+        )
+        machine.notify_event("IDLE")
+        clock.advance(2.0)
+        machine.notify_event("GO_ACTIVE")
+        injections = timeline.fault_injections()
+        assert len(injections) == 1
+        assert injections[0].fault == "f"
+        assert injections[0].time == pytest.approx(2.0)
+
+    def test_global_state_fault_requires_remote_state(self):
+        machine, parser, _, _, _ = self.make_parser(
+            [FaultDefinition("f", And(StateAtom("sm1", "ACTIVE"), StateAtom("sm2", "READY")),
+                             FaultTrigger.ONCE)]
+        )
+        machine.notify_event("IDLE")
+        machine.notify_event("GO_ACTIVE")
+        assert parser.injections == []
+        machine.receive_remote_state("sm2", "READY")
+        assert len(parser.injections) == 1
+
+    def test_injector_callback_time_used(self):
+        machine, parser, probe, timeline, _ = self.make_parser(
+            [FaultDefinition("f", StateAtom("sm1", "ACTIVE"), FaultTrigger.ONCE)],
+            injector=lambda name: 123.456,
+        )
+        machine.notify_event("IDLE")
+        machine.notify_event("GO_ACTIVE")
+        assert timeline.fault_injections()[0].time == pytest.approx(123.456)
+        assert probe.injected == [("f", 123.456)]
+
+    def test_reset_clears_history(self):
+        machine, parser, _, _, _ = self.make_parser(
+            [FaultDefinition("f", StateAtom("sm1", "ACTIVE"), FaultTrigger.ONCE)]
+        )
+        machine.notify_event("IDLE")
+        machine.notify_event("GO_ACTIVE")
+        parser.reset()
+        assert parser.injections == []
+        assert not parser.fired("f")
+
+    def test_expression_values_snapshot(self):
+        faults = [
+            FaultDefinition("f1", StateAtom("a", "X"), FaultTrigger.ONCE),
+            FaultDefinition("f2", StateAtom("b", "Y"), FaultTrigger.ONCE),
+        ]
+        parser = FaultParser(FaultSpecification.from_definitions(faults))
+        assert parser.expression_values({"a": "X"}) == {"f1": True, "f2": False}
+
+
+class TestRecorder:
+    def test_records_use_clock_and_host(self):
+        clock = ManualClock()
+        timeline = LocalTimeline(machine="sm", global_states=("A",), events=("e",))
+        recorder = Recorder(timeline, clock=clock, host="hostx")
+        clock.advance(1.25)
+        record = recorder.record_state_change("e", "A")
+        assert record.time == pytest.approx(1.25)
+        assert record.host == "hostx"
+
+    def test_explicit_time_overrides_clock(self):
+        timeline = LocalTimeline(machine="sm", global_states=("A",), events=("e",))
+        recorder = Recorder(timeline, clock=lambda: 9.0, host="h")
+        assert recorder.record_fault_injection("f", time=4.5).time == pytest.approx(4.5)
+
+    def test_callable_host(self):
+        hosts = iter(["h1", "h2"])
+        timeline = LocalTimeline(machine="sm", global_states=("A",), events=("e",))
+        recorder = Recorder(timeline, clock=lambda: 0.0, host=lambda: next(hosts))
+        assert recorder.record_state_change("e", "A").host == "h1"
+        assert recorder.record_state_change("e", "A").host == "h2"
+
+    def test_notes(self):
+        timeline = LocalTimeline(machine="sm")
+        recorder = Recorder(timeline, clock=lambda: 0.0, host="h")
+        recorder.record_note("hello")
+        assert timeline.notes == ["hello"]

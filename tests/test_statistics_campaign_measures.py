@@ -1,0 +1,175 @@
+"""Tests for moment statistics and campaign-level measures."""
+
+import math
+import statistics as stdlib_statistics
+
+import numpy
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StatisticsError
+from repro.measures.campaign_measures import (
+    SimpleSamplingMeasure,
+    StratifiedUserMeasure,
+    StratifiedWeightedMeasure,
+)
+from repro.measures.statistics import (
+    central_from_raw,
+    combine_stratified,
+    raw_moments,
+    summarize_sample,
+)
+
+
+class TestMoments:
+    def test_raw_moments_simple(self):
+        m1, m2, m3, m4 = raw_moments([1.0, 2.0, 3.0])
+        assert m1 == pytest.approx(2.0)
+        assert m2 == pytest.approx(14.0 / 3.0)
+        assert m3 == pytest.approx(36.0 / 3.0)
+        assert m4 == pytest.approx(98.0 / 3.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(StatisticsError):
+            raw_moments([])
+
+    def test_central_moments_match_numpy(self):
+        values = [1.5, 2.25, -0.5, 4.0, 3.25, 0.75]
+        summary = summarize_sample(values)
+        array = numpy.asarray(values)
+        assert summary.mean == pytest.approx(array.mean())
+        assert summary.variance == pytest.approx(((array - array.mean()) ** 2).mean())
+        assert summary.central_moment_3 == pytest.approx(((array - array.mean()) ** 3).mean())
+        assert summary.central_moment_4 == pytest.approx(((array - array.mean()) ** 4).mean())
+
+    def test_skewness_and_kurtosis_coefficients(self):
+        values = [0.0, 0.0, 0.0, 1.0]
+        summary = summarize_sample(values)
+        mu2 = summary.central_moment_2
+        assert summary.skewness_coefficient == pytest.approx(
+            summary.central_moment_3**2 / mu2**3
+        )
+        assert summary.kurtosis_coefficient == pytest.approx(summary.central_moment_4 / mu2**2)
+
+    def test_degenerate_sample(self):
+        summary = summarize_sample([2.0, 2.0, 2.0])
+        assert summary.variance == 0.0
+        assert summary.skewness == 0.0
+        assert summary.percentile(0.9) == pytest.approx(2.0)
+
+    def test_percentile_normal_sample(self):
+        rng = numpy.random.default_rng(0)
+        values = rng.normal(loc=10.0, scale=2.0, size=4000).tolist()
+        summary = summarize_sample(values)
+        estimate = summary.percentile(0.95)
+        expected = 10.0 + 1.6449 * 2.0
+        assert estimate == pytest.approx(expected, rel=0.05)
+
+    def test_percentile_bounds_checked(self):
+        summary = summarize_sample([1.0, 2.0])
+        with pytest.raises(StatisticsError):
+            summary.percentile(0.0)
+        with pytest.raises(StatisticsError):
+            summary.percentile(1.5)
+
+    def test_confidence_interval_contains_mean(self):
+        summary = summarize_sample([1.0, 2.0, 3.0, 4.0])
+        low, high = summary.confidence_interval(0.95)
+        assert low < summary.mean < high
+
+    def test_central_from_raw_equations(self):
+        # Equations 4.1-4.3 applied to a hand-computed example.
+        values = [1.0, 3.0]
+        m1, m2, m3, m4 = raw_moments(values)
+        mu2, mu3, mu4 = central_from_raw(m1, m2, m3, m4)
+        assert mu2 == pytest.approx(1.0)
+        assert mu3 == pytest.approx(0.0)
+        assert mu4 == pytest.approx(1.0)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=40
+    )
+)
+def test_property_moments_match_reference_formulas(values):
+    summary = summarize_sample(values)
+    mean = stdlib_statistics.fmean(values)
+    assert summary.mean == pytest.approx(mean, abs=1e-6)
+    centred = [(value - mean) ** 2 for value in values]
+    assert summary.variance == pytest.approx(sum(centred) / len(values), abs=1e-5)
+
+
+class TestCampaignMeasures:
+    study_values = {
+        "study1": [1.0, 1.0, 0.0, 1.0],
+        "study2": [0.0, 0.0, 1.0, 0.0],
+        "study3": [1.0, 1.0, 1.0, 1.0],
+    }
+
+    def test_simple_sampling_pools_all_values(self):
+        result = SimpleSamplingMeasure("pooled").estimate(self.study_values)
+        assert result.samples_used == 12
+        assert result.value == pytest.approx(8.0 / 12.0)
+        assert result.kind == "simple_sampling"
+        assert set(result.per_study) == set(self.study_values)
+
+    def test_simple_sampling_ignores_filtered_experiments(self):
+        values = {"study1": [1.0, None, 0.0]}
+        result = SimpleSamplingMeasure("pooled").estimate(values)
+        assert result.samples_used == 2
+        assert result.value == pytest.approx(0.5)
+
+    def test_simple_sampling_requires_some_values(self):
+        with pytest.raises(StatisticsError):
+            SimpleSamplingMeasure("pooled").estimate({"study1": [None, None]})
+
+    def test_stratified_weighted_mean_is_weighted(self):
+        weights = {"study1": 2.0, "study2": 1.0, "study3": 1.0}
+        result = StratifiedWeightedMeasure("coverage", weights).estimate(self.study_values)
+        expected = (2.0 * 0.75 + 1.0 * 0.25 + 1.0 * 1.0) / 4.0
+        assert result.value == pytest.approx(expected)
+        assert result.summary is not None
+        assert result.summary.central_moment_2 >= 0.0
+
+    def test_stratified_weighted_equal_weights_matches_mean_of_means(self):
+        weights = {name: 1.0 for name in self.study_values}
+        result = StratifiedWeightedMeasure("m", weights).estimate(self.study_values)
+        means = [0.75, 0.25, 1.0]
+        assert result.value == pytest.approx(sum(means) / 3.0)
+
+    def test_stratified_weighted_missing_study_values_rejected(self):
+        weights = {"study1": 1.0}
+        with pytest.raises(StatisticsError):
+            StratifiedWeightedMeasure("m", weights).estimate({"study1": [None]})
+
+    def test_stratified_weighted_missing_weight_rejected(self):
+        with pytest.raises(StatisticsError):
+            StratifiedWeightedMeasure("m", {"study1": 1.0}).estimate(self.study_values)
+
+    def test_stratified_user_measure(self):
+        def overall_coverage(means):
+            weights = {"study1": 3.0, "study2": 1.0, "study3": 1.0}
+            total = sum(weights.values())
+            return sum(weights[name] * mean for name, mean in means.items()) / total
+
+        result = StratifiedUserMeasure("user", overall_coverage).estimate(self.study_values)
+        assert result.value == pytest.approx((3 * 0.75 + 0.25 + 1.0) / 5.0)
+        assert result.summary is None
+        with pytest.raises(StatisticsError):
+            result.percentile(0.9)
+
+    def test_combine_stratified_requires_positive_weights(self):
+        summaries = {"a": summarize_sample([1.0, 2.0])}
+        with pytest.raises(StatisticsError):
+            combine_stratified(summaries, {"a": 0.0})
+
+    def test_combine_stratified_weighted_moments(self):
+        summaries = {
+            "a": summarize_sample([0.0, 2.0]),
+            "b": summarize_sample([10.0, 14.0]),
+        }
+        combined = combine_stratified(summaries, {"a": 1.0, "b": 3.0})
+        assert combined.mean == pytest.approx(0.25 * 1.0 + 0.75 * 12.0)
+        assert combined.central_moment_2 == pytest.approx(0.25 * 1.0 + 0.75 * 4.0)
+        assert combined.count == 4

@@ -1,0 +1,169 @@
+"""Tests for local timelines and the on-disk timeline format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.expression import StateAtom
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.timeline import (
+    LocalTimeline,
+    RecordKind,
+    format_local_timeline,
+    parse_local_timeline,
+)
+from repro.errors import TimelineFormatError
+
+
+def sample_timeline():
+    faults = FaultSpecification.from_definitions(
+        [
+            FaultDefinition("bfault1", StateAtom("black", "LEAD"), FaultTrigger.ALWAYS),
+            FaultDefinition("gfault3", StateAtom("green", "FOLLOW"), FaultTrigger.ONCE),
+        ]
+    )
+    timeline = LocalTimeline(
+        machine="black",
+        state_machines=("black", "yellow", "green"),
+        global_states=("BEGIN", "INIT", "ELECT", "LEAD", "FOLLOW", "CRASH", "EXIT"),
+        events=("START", "INIT_DONE", "LEADER", "FOLLOWER", "CRASH", "default"),
+        faults=faults,
+    )
+    timeline.add_state_change("default", "INIT", time=0.001, host="hosta")
+    timeline.add_state_change("INIT_DONE", "ELECT", time=0.010002, host="hosta")
+    timeline.add_state_change("LEADER", "LEAD", time=0.0203, host="hosta")
+    timeline.add_fault_injection("bfault1", time=0.0203, host="hosta")
+    timeline.add_state_change("CRASH", "CRASH", time=0.0251, host="hosta")
+    timeline.add_state_change("default", "INIT", time=0.100, host="hostb")
+    timeline.add_note("restarted on hostb")
+    return timeline
+
+
+class TestLocalTimeline:
+    def test_selectors(self):
+        timeline = sample_timeline()
+        assert len(timeline.state_changes()) == 5
+        assert len(timeline.fault_injections()) == 1
+        assert timeline.final_state() == "INIT"
+        assert timeline.hosts() == ("hosta", "hostb")
+        assert not timeline.is_empty()
+
+    def test_empty_timeline(self):
+        timeline = LocalTimeline(machine="x")
+        assert timeline.is_empty()
+        assert timeline.final_state() is None
+        assert timeline.hosts() == ()
+
+    def test_record_kind_flags(self):
+        timeline = sample_timeline()
+        assert timeline.records[0].is_state_change()
+        assert not timeline.records[0].is_fault_injection()
+        assert timeline.fault_injections()[0].is_fault_injection()
+
+
+class TestTimelineFormat:
+    def test_roundtrip(self):
+        original = sample_timeline()
+        text = format_local_timeline(original)
+        parsed = parse_local_timeline(text)
+        assert parsed.machine == original.machine
+        assert parsed.state_machines == original.state_machines
+        assert parsed.global_states == original.global_states
+        assert parsed.events == original.events
+        assert parsed.faults.names() == original.faults.names()
+        assert len(parsed.records) == len(original.records)
+        for ours, theirs in zip(original.records, parsed.records):
+            assert ours.kind == theirs.kind
+            assert ours.host == theirs.host
+            assert ours.event == theirs.event
+            assert ours.new_state == theirs.new_state
+            assert ours.fault == theirs.fault
+            assert theirs.time == pytest.approx(ours.time, abs=2e-9)
+        assert parsed.notes == original.notes
+
+    def test_format_uses_numeric_record_types(self):
+        text = format_local_timeline(sample_timeline())
+        timeline_section = text.split("local_timeline\n")[1]
+        data_lines = [
+            line
+            for line in timeline_section.splitlines()
+            if line and not line.startswith(("HOST", "NOTE", "end_"))
+        ]
+        assert all(line.split()[0] in ("0", "1") for line in data_lines)
+        assert int(RecordKind.STATE_CHANGE) == 0
+        assert int(RecordKind.FAULT_INJECTION) == 1
+
+    def test_format_splits_64_bit_times(self):
+        timeline = LocalTimeline(
+            machine="m", global_states=("A",), events=("e",), state_machines=("m",)
+        )
+        # 5 seconds = 5e9 ns needs more than 32 bits.
+        timeline.add_state_change("e", "A", time=5.0, host="h")
+        text = format_local_timeline(timeline)
+        timeline_section = text.split("local_timeline\n")[1]
+        record_line = [
+            line for line in timeline_section.splitlines() if line.startswith("0 ")
+        ][0]
+        high, low = int(record_line.split()[3]), int(record_line.split()[4])
+        assert (high << 32) | low == 5_000_000_000
+        assert high > 0
+
+    def test_unknown_event_rejected_when_formatting(self):
+        timeline = LocalTimeline(machine="m", global_states=("A",), events=("e",))
+        timeline.add_state_change("mystery", "A", time=0.0, host="h")
+        with pytest.raises(TimelineFormatError):
+            format_local_timeline(timeline)
+
+    def test_unknown_fault_rejected_when_formatting(self):
+        timeline = LocalTimeline(machine="m", global_states=("A",), events=("e",))
+        timeline.add_fault_injection("ghost", time=0.0, host="h")
+        with pytest.raises(TimelineFormatError):
+            format_local_timeline(timeline)
+
+    def test_negative_time_rejected(self):
+        timeline = LocalTimeline(machine="m", global_states=("A",), events=("e",))
+        timeline.add_state_change("e", "A", time=-1.0, host="h")
+        with pytest.raises(TimelineFormatError):
+            format_local_timeline(timeline)
+
+    def test_parse_rejects_empty_file(self):
+        with pytest.raises(TimelineFormatError):
+            parse_local_timeline("")
+
+    def test_parse_rejects_missing_sections(self):
+        with pytest.raises(TimelineFormatError):
+            parse_local_timeline("black\nstate_machine_list\n0 black\n")
+
+    def test_parse_rejects_bad_indices(self):
+        text = (
+            "black\nstate_machine_list\n5 black\nend_state_machine_list\n"
+            "global_state_list\nend_global_state_list\n"
+            "event_list\nend_event_list\nfault_list\nend_fault_list\n"
+            "local_timeline\nend_local_timeline\n"
+        )
+        with pytest.raises(TimelineFormatError):
+            parse_local_timeline(text)
+
+    def test_parse_rejects_unknown_record_type(self):
+        timeline = sample_timeline()
+        text = format_local_timeline(timeline).replace("\n1 0 ", "\n7 0 ")
+        with pytest.raises(TimelineFormatError):
+            parse_local_timeline(text)
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_timestamp_roundtrip_precision(times):
+    """The hi/lo 64-bit encoding is lossless to nanosecond precision."""
+    timeline = LocalTimeline(
+        machine="m", state_machines=("m",), global_states=("A",), events=("e",)
+    )
+    for time in times:
+        timeline.add_state_change("e", "A", time=time, host="h")
+    parsed = parse_local_timeline(format_local_timeline(timeline))
+    for original, recovered in zip(times, parsed.records):
+        assert abs(recovered.time - original) <= 1e-9
