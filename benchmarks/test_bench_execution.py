@@ -1,0 +1,98 @@
+"""EXEC-ENGINE: wall-clock speedup of the process-pool campaign backend.
+
+Runs the same 200-experiment, four-study campaign through the serial and
+the four-worker process-pool execution backends, checks that both produce
+identical per-experiment seeds and acceptance summaries (the engine's
+bit-identity contract), and reports the wall-clock speedup.  The >= 2x
+speedup assertion only applies when the machine actually exposes at least
+four usable CPUs — on smaller machines the benchmark still verifies
+equivalence and prints the measured ratio.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.apps.toggle import build_toggle_study
+from repro.core.campaign import CampaignConfig
+from repro.core.execution import PROCESS_POOL, ExecutionConfig, available_backends
+from repro.pipeline import run_and_analyze
+
+STUDIES = 4
+EXPERIMENTS_PER_STUDY = 50  # 200 experiments total
+WORKERS = 4
+
+
+def build_campaign() -> CampaignConfig:
+    studies = [
+        build_toggle_study(
+            name=f"dwell-{index}",
+            dwell_time=0.010 + 0.005 * index,
+            timeslice=0.005,
+            cycles=3,
+            experiments=EXPERIMENTS_PER_STUDY,
+            seed=100 + index,
+        )
+        for index in range(STUDIES)
+    ]
+    return CampaignConfig(name="execution-bench", studies=studies)
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def seeds_of(analysis) -> dict[str, list[int]]:
+    return {
+        name: [experiment.result.seed for experiment in study.experiments]
+        for name, study in analysis.studies.items()
+    }
+
+
+@pytest.mark.skipif(
+    PROCESS_POOL not in available_backends(),
+    reason="process-pool backend needs the fork start method",
+)
+def test_bench_execution_speedup():
+    """Serial vs 4-worker pool on a 200-experiment campaign."""
+    campaign = build_campaign()
+
+    start = time.perf_counter()
+    serial = run_and_analyze(campaign, ExecutionConfig.serial())
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = run_and_analyze(
+        campaign, ExecutionConfig.process_pool(workers=WORKERS, chunk_size=5)
+    )
+    pooled_elapsed = time.perf_counter() - start
+
+    # The engine's contract: the backend cannot change any result.
+    assert seeds_of(serial) == seeds_of(pooled)
+    assert serial.acceptance_summary() == pooled.acceptance_summary()
+
+    speedup = serial_elapsed / pooled_elapsed if pooled_elapsed > 0 else float("inf")
+    experiments = STUDIES * EXPERIMENTS_PER_STUDY
+    print_table(
+        f"Execution engine — {experiments} experiments, {WORKERS} workers "
+        f"({usable_cpus()} usable CPUs)",
+        ["backend", "wall clock", "experiments/s"],
+        [
+            ["serial", f"{serial_elapsed:.2f} s", f"{experiments / serial_elapsed:.1f}"],
+            ["process-pool", f"{pooled_elapsed:.2f} s", f"{experiments / pooled_elapsed:.1f}"],
+            ["speedup", f"{speedup:.2f}x", ""],
+        ],
+    )
+
+    if usable_cpus() >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {WORKERS} workers on "
+            f"{usable_cpus()} CPUs, measured {speedup:.2f}x"
+        )

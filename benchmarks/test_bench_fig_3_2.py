@@ -37,7 +37,7 @@ def test_bench_figure_3_2(benchmark, sweep):
         [f"{point.dwell_time * 1000:.0f} ms",
          f"{point.dwell_time / TIMESLICE:.1f}",
          point.injections,
-         f"{point.probability:.2f}"]
+         "n/a" if point.probability is None else f"{point.probability:.2f}"]
         for point in sweep
     ]
     print_table(

@@ -15,12 +15,22 @@ Reproduces the two evaluations of Section 5.4 / 5.8:
   configured correlation.
 """
 
+import argparse
+
+from repro.core.execution import ExecutionConfig, available_backends
 from repro.experiments import chapter5_correlation_evaluation, chapter5_coverage_evaluation
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=available_backends(), default="serial")
+    parser.add_argument("--workers", type=int, default=None)
+    options = parser.parse_args()
+    execution = ExecutionConfig(backend=options.backend, workers=options.workers)
+
     print("=== Evaluation 1: coverage of an error in the leader ===")
-    coverage = chapter5_coverage_evaluation(experiments=6, recovery_probability=0.7, seed=2)
+    coverage = chapter5_coverage_evaluation(experiments=6, recovery_probability=0.7, seed=2,
+                                            execution=execution)
     for study, value in coverage.per_study_coverage.items():
         accepted, total = coverage.per_study_accepted[study]
         print(f"  {study}: coverage={value:.2f}  (accepted {accepted}/{total} experiments)")
@@ -29,7 +39,8 @@ def main() -> None:
 
     print("\n=== Evaluation 2: correlation of leader crash with follower errors ===")
     correlation = chapter5_correlation_evaluation(
-        experiments=8, correlated_probability=0.8, uncorrelated_probability=0.25, seed=3
+        experiments=8, correlated_probability=0.8, uncorrelated_probability=0.25, seed=3,
+        execution=execution,
     )
     print(f"  fraction of follower faults that became errors, leader crashed:   "
           f"{correlation.correlated_error_fraction:.2f} "

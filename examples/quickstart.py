@@ -13,13 +13,24 @@ This script runs the smallest useful Loki evaluation end to end:
 4. a study measure counts how long the driver spent ACTIVE per experiment.
 """
 
+import argparse
+
 from repro.apps.toggle import DRIVER, build_toggle_study
 from repro.core.campaign import run_single_study
+from repro.core.execution import ExecutionConfig, available_backends
 from repro.measures import MeasureStep, StateTuple, StudyMeasure, TotalDuration, summarize_sample
 from repro.pipeline import analyze_study, correct_injection_fraction
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=available_backends(), default="serial",
+                        help="campaign execution backend (results are identical)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the process-pool backend")
+    options = parser.parse_args()
+    execution = ExecutionConfig(backend=options.backend, workers=options.workers)
+
     study = build_toggle_study(
         name="quickstart",
         dwell_time=0.020,       # the driver holds ACTIVE for 20 ms
@@ -28,13 +39,15 @@ def main() -> None:
         experiments=4,
     )
     print(f"Running study {study.name!r}: {study.experiments} experiments, "
-          f"design {study.design.describe()}")
-    result = run_single_study(study)
+          f"design {study.design.describe()}, backend {execution.backend}")
+    result = run_single_study(study, execution)
     analysis = analyze_study(result)
 
     accepted = analysis.accepted()
     print(f"Experiments accepted by the analysis phase: {len(accepted)}/{len(analysis.experiments)}")
-    print(f"Correct-injection fraction: {correct_injection_fraction(analysis.experiments):.2f}")
+    fraction = correct_injection_fraction(analysis.experiments)
+    print("Correct-injection fraction: "
+          + (f"{fraction:.2f}" if fraction is not None else "n/a (no injections observed)"))
 
     active_time = StudyMeasure(
         name="driver-active-time",

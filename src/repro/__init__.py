@@ -27,6 +27,14 @@ from repro.core.campaign import (
     run_campaign,
     run_single_study,
 )
+from repro.core.execution import (
+    ExecutionConfig,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    available_backends,
+    build_executor,
+    run_and_analyze_experiment,
+)
 from repro.core.runtime.context import NodeDefinition, RestartPolicy, WatchdogConfig
 from repro.core.runtime.designs import CommunicationMode, DaemonPlacement, RuntimeDesign
 from repro.pipeline import (
@@ -50,11 +58,14 @@ __all__ = [
     "CampaignRunner",
     "CommunicationMode",
     "DaemonPlacement",
+    "ExecutionConfig",
     "ExperimentResult",
     "HostConfig",
     "NodeDefinition",
+    "ProcessPoolExecutor",
     "RestartPolicy",
     "RuntimeDesign",
+    "SerialExecutor",
     "StudyAnalysis",
     "StudyConfig",
     "StudyResult",
@@ -62,8 +73,11 @@ __all__ = [
     "analyze_campaign",
     "analyze_experiment",
     "analyze_study",
+    "available_backends",
+    "build_executor",
     "correct_injection_fraction",
     "run_and_analyze",
+    "run_and_analyze_experiment",
     "run_campaign",
     "run_single_study",
     "__version__",

@@ -27,6 +27,7 @@ from repro.core.runtime.context import (
     RestartPolicy,
     WatchdogConfig,
 )
+from repro.core.execution import ExecutionConfig, build_executor
 from repro.core.runtime.daemons import CentralDaemonProcess, LocalDaemonProcess
 from repro.core.runtime.designs import DaemonPlacement, RuntimeDesign
 from repro.core.runtime.syncphase import SyncPhaseConfig, run_sync_phase
@@ -66,7 +67,14 @@ class ClockGenerationConfig:
 
 @dataclass
 class StudyConfig:
-    """One study: fixed specifications, placement, and runtime parameters."""
+    """One study: fixed specifications, placement, and runtime parameters.
+
+    ``max_events`` is the hard backstop against applications that generate
+    unbounded numbers of events inside the experiment timeout; hitting it
+    marks the experiment aborted (it is not usable data).  ``execution``
+    optionally overrides the campaign's execution backend when the study is
+    run on its own (:func:`run_single_study`).
+    """
 
     name: str
     hosts: list[HostConfig]
@@ -83,8 +91,14 @@ class StudyConfig:
     lan_profile: LinkProfile = LAN_TCP_PROFILE
     seed: int = 0
     weight: float = 1.0
+    max_events: int = 5_000_000
+    execution: ExecutionConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.max_events < 1:
+            raise RuntimeConfigurationError(
+                f"study {self.name!r} needs a positive event cap (got {self.max_events})"
+            )
         if not self.hosts:
             raise RuntimeConfigurationError(f"study {self.name!r} has no hosts")
         if not self.nodes:
@@ -120,10 +134,16 @@ class StudyConfig:
 
 @dataclass
 class CampaignConfig:
-    """A campaign: a named collection of studies over one system."""
+    """A campaign: a named collection of studies over one system.
+
+    ``execution`` selects the default execution backend for the campaign's
+    experiments (see :mod:`repro.core.execution`); it can be overridden per
+    call via ``CampaignRunner.run(execution=...)``.
+    """
 
     name: str
     studies: list[StudyConfig]
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
         names = [study.name for study in self.studies]
@@ -199,26 +219,47 @@ class CampaignResult:
 
 
 class CampaignRunner:
-    """Executes campaigns (the runtime phase) on the simulated substrate."""
+    """Executes campaigns (the runtime phase) on the simulated substrate.
+
+    The runner owns the per-experiment mechanics (environment construction,
+    sync mini-phases, daemon spawning, timeline collection) and delegates
+    *scheduling* of the experiments — serial or fanned out across a process
+    pool — to the execution engine of :mod:`repro.core.execution`.
+    """
 
     def __init__(self, config: CampaignConfig) -> None:
         self.config = config
 
-    def run(self) -> CampaignResult:
-        """Run every experiment of every study of the campaign."""
-        result = CampaignResult(config=self.config)
-        for study in self.config.studies:
-            result.studies[study.name] = self.run_study(study)
-        return result
+    def run(self, execution: ExecutionConfig | None = None) -> CampaignResult:
+        """Run every experiment of every study of the campaign.
 
-    def run_study(self, study: StudyConfig) -> StudyResult:
+        ``execution`` overrides the campaign's configured backend for this
+        call; results are identical for every backend and worker count.
+        """
+        return build_executor(execution or self.config.execution).run_campaign(
+            self.config, runner_class=type(self)
+        )
+
+    def run_study(
+        self, study: StudyConfig, execution: ExecutionConfig | None = None
+    ) -> StudyResult:
         """Run every experiment of one study."""
-        result = StudyResult(config=study)
-        for index in range(study.experiments):
-            result.experiments.append(self.run_experiment(study, index))
-        return result
+        chosen = execution or study.execution or self.config.execution
+        return build_executor(chosen).run_study(study, runner_class=type(self))
 
     # -- one experiment ----------------------------------------------------------------
+
+    @classmethod
+    def run_experiment_of(cls, study: StudyConfig, index: int) -> ExperimentResult:
+        """Run one experiment of ``study`` outside any campaign.
+
+        This is the unit of work the execution engine dispatches to
+        workers; it depends only on the study configuration and the
+        experiment index, which is what makes experiment-level parallelism
+        safe.
+        """
+        campaign = CampaignConfig(name=f"campaign-{study.name}", studies=[study])
+        return cls(campaign).run_experiment(study, index)
 
     def run_experiment(self, study: StudyConfig, index: int) -> ExperimentResult:
         """Run a single experiment of a study and collect its raw results."""
@@ -279,7 +320,10 @@ class CampaignRunner:
 
     @staticmethod
     def _experiment_seed(study: StudyConfig, index: int) -> int:
-        return RandomStreams(study.seed)._derive(f"experiment:{study.name}:{index}")
+        # Public stream API on purpose: serial and pooled workers both
+        # re-derive this value independently, so the seed sequence is part
+        # of the library's compatibility contract (pinned by tests).
+        return RandomStreams(study.seed).derive(f"experiment:{study.name}:{index}")
 
     @staticmethod
     def _build_hosts(
@@ -325,26 +369,31 @@ class CampaignRunner:
         environment: Environment, context: ExperimentContext, study: StudyConfig
     ) -> None:
         # The central daemon's timeout timer guarantees eventual completion;
-        # the hard event cap below is a backstop against runaway applications
+        # the study's event cap is a backstop against runaway applications
         # that generate unbounded numbers of events within the timeout.
-        max_events = 5_000_000
+        # Hitting the cap means the run is truncated mid-flight, so it is
+        # recorded as aborted rather than returned as (half-run) data.
         processed = 0
-        while not context.experiment_complete and processed < max_events:
+        while not context.experiment_complete and processed < study.max_events:
             if not environment.kernel.step():
                 break
             processed += 1
+        if not context.experiment_complete and processed >= study.max_events:
+            context.mark_aborted(f"event cap reached ({study.max_events} events)")
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
+def run_campaign(
+    config: CampaignConfig, execution: ExecutionConfig | None = None
+) -> CampaignResult:
     """Convenience wrapper: run a whole campaign with default settings."""
-    return CampaignRunner(config).run()
+    return CampaignRunner(config).run(execution)
 
 
-def run_single_study(study: StudyConfig) -> StudyResult:
+def run_single_study(
+    study: StudyConfig, execution: ExecutionConfig | None = None
+) -> StudyResult:
     """Convenience wrapper: run one study outside a campaign."""
-    return CampaignRunner(CampaignConfig(name=f"campaign-{study.name}", studies=[study])).run_study(
-        study
-    )
+    return build_executor(execution or study.execution).run_study(study)
 
 
 def merge_study_results(results: Iterable[StudyResult]) -> list[ExperimentResult]:

@@ -1,0 +1,369 @@
+"""Campaign execution engine: pluggable serial / process-pool backends.
+
+Loki evaluations need thousands of experiments per study to estimate
+correct-injection probabilities and coverage measures, and every experiment
+is an independent unit of work: it derives its own seed from the public
+:meth:`repro.sim.rng.RandomStreams.derive` API, builds its own
+:class:`~repro.sim.environment.Environment`, and never shares state with
+its siblings.  That makes experiment-level parallelism embarrassingly
+available, and this module supplies it behind a small engine:
+
+* :class:`ExecutionConfig` selects a backend (``"serial"`` or
+  ``"process-pool"``), a worker count, and a chunk size;
+* :class:`SerialExecutor` runs experiments in-process in index order
+  (bit-identical to the historical ``CampaignRunner.run`` loop);
+* :class:`ProcessPoolExecutor` fans experiments out across a
+  ``multiprocessing`` fork pool.  Each worker re-derives its experiment
+  seed from the study seed and experiment index, so scheduling order
+  cannot change any outcome: both backends produce identical per-
+  experiment seeds, timelines, and measure values.
+
+The engine exposes two entry points.  :meth:`ExperimentExecutor.run_campaign`
+performs only the runtime phase and returns a full
+:class:`~repro.core.campaign.CampaignResult` (raw timelines included).
+:meth:`ExperimentExecutor.run_and_analyze` fuses the analysis phase into
+the workers via :func:`run_and_analyze_experiment`, and — uniformly on
+*every* backend, so the backends stay structurally interchangeable — the
+large ``LocalTimeline`` / sync-message payloads are reduced to analyzed
+summaries once analysis has consumed them (before they would cross a
+process boundary); set ``ExecutionConfig(keep_raw_results=True)`` to
+retain them.
+
+The process-pool backend requires the ``fork`` start method (study
+configurations carry application factories — often closures — that cannot
+be pickled; forked workers inherit them through process memory instead).
+On platforms without ``fork`` the backend raises
+:class:`~repro.errors.RuntimeConfigurationError`; use
+:func:`available_backends` to pick dynamically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.errors import RuntimeConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.campaign import (
+        CampaignConfig,
+        CampaignResult,
+        ExperimentResult,
+        StudyConfig,
+        StudyResult,
+    )
+    from repro.pipeline import AnalyzedExperiment, CampaignAnalysis
+
+#: Backend name: run every experiment in the calling process, in order.
+SERIAL = "serial"
+
+#: Backend name: fan experiments out across a ``multiprocessing`` fork pool.
+PROCESS_POOL = "process-pool"
+
+#: Callback signature for progress streaming: ``(study_name, done, total)``.
+ProgressCallback = Callable[[str, int, int], None]
+
+
+def available_backends() -> tuple[str, ...]:
+    """The execution backends usable on this platform."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return (SERIAL, PROCESS_POOL)
+    return (SERIAL,)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a campaign's experiments are executed.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` or ``"process-pool"``.
+    workers:
+        Worker processes for the pool backend; ``None`` uses the machine's
+        CPU count.  Ignored by the serial backend.
+    chunk_size:
+        How many experiments each pool task carries.  Larger chunks
+        amortize IPC overhead for campaigns of many fast experiments.
+    keep_raw_results:
+        Fused run-and-analyze execution normally strips the raw
+        ``local_timelines`` / ``sync_messages`` payloads from each analyzed
+        experiment once the analysis phase has consumed them (they dominate
+        the data volume of large campaigns).  Set ``True`` to keep them.
+    progress:
+        Optional callback invoked after every finished experiment with
+        ``(study_name, completed_in_study, total_in_study)``.  Never
+        pickled: it runs in the coordinating process only.
+    """
+
+    backend: str = SERIAL
+    workers: int | None = None
+    chunk_size: int = 1
+    keep_raw_results: bool = False
+    progress: ProgressCallback | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.backend not in (SERIAL, PROCESS_POOL):
+            raise RuntimeConfigurationError(
+                f"unknown execution backend {self.backend!r}; "
+                f"expected {SERIAL!r} or {PROCESS_POOL!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise RuntimeConfigurationError(
+                f"execution needs at least one worker (got {self.workers})"
+            )
+        if self.chunk_size < 1:
+            raise RuntimeConfigurationError(
+                f"execution chunk size must be positive (got {self.chunk_size})"
+            )
+
+    @staticmethod
+    def serial(**kwargs) -> "ExecutionConfig":
+        """A serial-backend configuration."""
+        return ExecutionConfig(backend=SERIAL, **kwargs)
+
+    @staticmethod
+    def process_pool(workers: int | None = None, **kwargs) -> "ExecutionConfig":
+        """A process-pool configuration with ``workers`` processes."""
+        return ExecutionConfig(backend=PROCESS_POOL, workers=workers, **kwargs)
+
+    def resolved_workers(self) -> int:
+        """The concrete worker count the pool backend will use."""
+        if self.workers is not None:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Task functions
+# ---------------------------------------------------------------------------
+#
+# A task is identified by (study_index, experiment_index) — a pair of small
+# picklable integers.  The campaign configuration itself never crosses the
+# process boundary: the pool is created with the fork start method after
+# the configuration has been published in ``_WORKER_STATE``, so workers
+# inherit it through copy-on-write process memory.  This is what lets
+# studies carry arbitrary (unpicklable) application factories.
+
+_WORKER_STATE: dict = {}
+
+
+def run_and_analyze_experiment(
+    study: "StudyConfig",
+    index: int,
+    *,
+    keep_raw_results: bool = True,
+    runner_class: type | None = None,
+) -> "AnalyzedExperiment":
+    """Run one experiment and immediately run its analysis phase.
+
+    This is the fused runtime+analysis task the execution engine ships to
+    workers: fusing means only the analyzed summary — clock bounds, global
+    timeline, verification verdicts — needs to travel back to the
+    coordinating process.  With ``keep_raw_results=False`` the raw
+    ``local_timelines`` and ``sync_messages`` payloads are dropped from the
+    returned experiment once analysis has consumed them.  ``runner_class``
+    selects the :class:`~repro.core.campaign.CampaignRunner` (sub)class
+    whose ``run_experiment`` performs the run.
+    """
+    from repro.core.campaign import CampaignRunner
+    from repro.pipeline import analyze_experiment
+
+    runner = runner_class or CampaignRunner
+    result = runner.run_experiment_of(study, index)
+    analyzed = analyze_experiment(result, study.fault_specifications())
+    if not keep_raw_results:
+        analyzed.result = replace(result, local_timelines={}, sync_messages=[])
+    return analyzed
+
+
+def _runtime_task(task: tuple[int, int]) -> tuple[int, int, "ExperimentResult"]:
+    study_index, experiment_index = task
+    study = _WORKER_STATE["campaign"].studies[study_index]
+    result = _WORKER_STATE["runner"].run_experiment_of(study, experiment_index)
+    return study_index, experiment_index, result
+
+
+def _fused_task(task: tuple[int, int]) -> tuple[int, int, "AnalyzedExperiment"]:
+    study_index, experiment_index = task
+    study = _WORKER_STATE["campaign"].studies[study_index]
+    analyzed = run_and_analyze_experiment(
+        study,
+        experiment_index,
+        keep_raw_results=_WORKER_STATE["keep_raw_results"],
+        runner_class=_WORKER_STATE["runner"],
+    )
+    return study_index, experiment_index, analyzed
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class ExperimentExecutor:
+    """Base class of the pluggable execution backends."""
+
+    def __init__(self, config: ExecutionConfig) -> None:
+        self.config = config
+
+    # -- public API --------------------------------------------------------------------
+    #
+    # ``runner_class`` lets CampaignRunner subclasses (instrumented or
+    # otherwise specialized runners) keep their run_experiment override in
+    # the dispatch path; it defaults to the stock CampaignRunner.
+
+    def run_campaign(
+        self, campaign: "CampaignConfig", runner_class: type | None = None
+    ) -> "CampaignResult":
+        """Runtime phase only: every experiment of every study."""
+        from repro.core.campaign import CampaignResult
+
+        slots = self._run(campaign, _runtime_task, runner_class)
+        result = CampaignResult(config=campaign)
+        for study, experiments in zip(campaign.studies, slots):
+            result.studies[study.name] = self._study_result(study, experiments)
+        return result
+
+    def run_study(
+        self, study: "StudyConfig", runner_class: type | None = None
+    ) -> "StudyResult":
+        """Runtime phase of a single study outside a campaign."""
+        from repro.core.campaign import CampaignConfig
+
+        campaign = CampaignConfig(name=f"campaign-{study.name}", studies=[study])
+        slots = self._run(campaign, _runtime_task, runner_class)
+        return self._study_result(study, slots[0])
+
+    def run_and_analyze(
+        self, campaign: "CampaignConfig", runner_class: type | None = None
+    ) -> "CampaignAnalysis":
+        """Fused runtime + analysis phases for a whole campaign."""
+        from repro.core.campaign import CampaignResult
+        from repro.pipeline import CampaignAnalysis, StudyAnalysis
+
+        slots = self._run(campaign, _fused_task, runner_class)
+        campaign_result = CampaignResult(config=campaign)
+        analysis = CampaignAnalysis(campaign=campaign_result)
+        for study, analyzed in zip(campaign.studies, slots):
+            study_result = self._study_result(
+                study, [experiment.result for experiment in analyzed]
+            )
+            campaign_result.studies[study.name] = study_result
+            analysis.studies[study.name] = StudyAnalysis(
+                study=study_result, experiments=list(analyzed)
+            )
+        return analysis
+
+    # -- helpers -----------------------------------------------------------------------
+
+    @staticmethod
+    def _study_result(study: "StudyConfig", experiments: Sequence) -> "StudyResult":
+        from repro.core.campaign import StudyResult
+
+        missing = [index for index, value in enumerate(experiments) if value is None]
+        if missing:  # pragma: no cover - defensive: a worker died mid-campaign
+            raise RuntimeConfigurationError(
+                f"study {study.name!r} lost experiments {missing} during execution"
+            )
+        return StudyResult(config=study, experiments=list(experiments))
+
+    @staticmethod
+    def _tasks(campaign: "CampaignConfig") -> list[tuple[int, int]]:
+        return [
+            (study_index, experiment_index)
+            for study_index, study in enumerate(campaign.studies)
+            for experiment_index in range(study.experiments)
+        ]
+
+    def _collect(
+        self,
+        campaign: "CampaignConfig",
+        completions: Iterable[tuple[int, int, object]],
+    ) -> list[list]:
+        """Slot streamed completions into per-study index-ordered lists."""
+        slots: list[list] = [[None] * study.experiments for study in campaign.studies]
+        done = [0] * len(campaign.studies)
+        progress = self.config.progress
+        for study_index, experiment_index, value in completions:
+            slots[study_index][experiment_index] = value
+            done[study_index] += 1
+            if progress is not None:
+                study = campaign.studies[study_index]
+                progress(study.name, done[study_index], study.experiments)
+        return slots
+
+    def _publish_state(self, campaign: "CampaignConfig", runner_class: type | None) -> None:
+        from repro.core.campaign import CampaignRunner
+
+        _WORKER_STATE["campaign"] = campaign
+        _WORKER_STATE["keep_raw_results"] = self.config.keep_raw_results
+        _WORKER_STATE["runner"] = runner_class or CampaignRunner
+
+    def _run(
+        self, campaign: "CampaignConfig", task, runner_class: type | None
+    ) -> list[list]:
+        raise NotImplementedError
+
+
+class SerialExecutor(ExperimentExecutor):
+    """Run every experiment in the calling process, in index order."""
+
+    def _run(
+        self, campaign: "CampaignConfig", task, runner_class: type | None
+    ) -> list[list]:
+        self._publish_state(campaign, runner_class)
+        try:
+            return self._collect(campaign, (task(item) for item in self._tasks(campaign)))
+        finally:
+            _WORKER_STATE.clear()
+
+
+class ProcessPoolExecutor(ExperimentExecutor):
+    """Fan experiments out across a ``multiprocessing`` fork pool.
+
+    Determinism is preserved by construction: every experiment derives its
+    seed from ``RandomStreams(study.seed).derive(f"experiment:{name}:{i}")``
+    inside the worker and runs in a private environment, so neither the
+    number of workers nor the completion order can alter any result, and
+    completions are re-slotted by experiment index before aggregation.
+    """
+
+    def _run(
+        self, campaign: "CampaignConfig", task, runner_class: type | None
+    ) -> list[list]:
+        if PROCESS_POOL not in available_backends():
+            raise RuntimeConfigurationError(
+                "the process-pool backend needs the 'fork' multiprocessing start "
+                "method, which this platform does not provide; use the serial backend"
+            )
+        tasks = self._tasks(campaign)
+        workers = min(self.config.resolved_workers(), max(len(tasks), 1))
+        context = multiprocessing.get_context("fork")
+        # Publish the campaign (and runner class) before forking: workers
+        # inherit them through process memory, so unpicklable study contents
+        # never cross the process boundary (only (study, experiment) index
+        # pairs do).
+        self._publish_state(campaign, runner_class)
+        try:
+            with context.Pool(processes=workers) as pool:
+                completions = pool.imap_unordered(
+                    task, tasks, chunksize=self.config.chunk_size
+                )
+                return self._collect(campaign, completions)
+        finally:
+            _WORKER_STATE.clear()
+
+
+_EXECUTORS = {
+    SERIAL: SerialExecutor,
+    PROCESS_POOL: ProcessPoolExecutor,
+}
+
+
+def build_executor(config: ExecutionConfig | None) -> ExperimentExecutor:
+    """Instantiate the executor class selected by ``config``."""
+    config = config or ExecutionConfig()
+    return _EXECUTORS[config.backend](config)

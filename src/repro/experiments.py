@@ -21,6 +21,7 @@ from repro.apps.election import (
 )
 from repro.apps.toggle import DRIVER, OBSERVER, build_toggle_study
 from repro.core.campaign import StudyConfig, run_single_study
+from repro.core.execution import ExecutionConfig
 from repro.core.runtime.context import RestartPolicy
 from repro.core.runtime.designs import RuntimeDesign
 from repro.measures import (
@@ -51,10 +52,15 @@ class InjectionProbabilityPoint:
     correct: int
 
     @property
-    def probability(self) -> float:
-        """Fraction of injections performed in the intended global state."""
+    def probability(self) -> float | None:
+        """Fraction of injections performed in the intended global state.
+
+        ``None`` when the point's experiments produced no injections at
+        all (undefined — same convention as
+        :func:`repro.pipeline.correct_injection_fraction`).
+        """
         if self.injections == 0:
-            return 0.0
+            return None
         return self.correct / self.injections
 
 
@@ -65,8 +71,13 @@ def injection_probability_sweep(
     cycles: int = 8,
     design: RuntimeDesign | None = None,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[InjectionProbabilityPoint]:
-    """Sweep the time spent in the triggering state (Figures 3.2 / 3.3)."""
+    """Sweep the time spent in the triggering state (Figures 3.2 / 3.3).
+
+    ``execution`` selects the campaign execution backend (serial by
+    default); the points are identical for every backend.
+    """
     points: list[InjectionProbabilityPoint] = []
     for index, dwell in enumerate(dwell_times):
         study = build_toggle_study(
@@ -78,7 +89,7 @@ def injection_probability_sweep(
             design=design,
             seed=seed + index,
         )
-        analysis = analyze_study(run_single_study(study))
+        analysis = analyze_study(run_single_study(study, execution))
         injections = sum(len(e.verification.verdicts) for e in analysis.experiments)
         correct = sum(
             sum(1 for verdict in e.verification.verdicts if verdict.correct)
@@ -101,7 +112,7 @@ class DesignComparisonRow:
     """One row of the Section 3.4 design comparison."""
 
     design: str
-    correct_fraction: float
+    correct_fraction: float | None
     notification_messages: int
     daemon_forwards: int
     connection_setups: int
@@ -113,8 +124,13 @@ def design_comparison(
     timeslice: float = 0.005,
     experiments: int = 2,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[DesignComparisonRow]:
-    """Run the same workload under every runtime design of Section 3.4."""
+    """Run the same workload under every runtime design of Section 3.4.
+
+    ``correct_fraction`` is ``None`` for a design whose runs produced no
+    injections at all (undefined, as opposed to all-wrong).
+    """
     rows: list[DesignComparisonRow] = []
     for design in RuntimeDesign.all_designs():
         study = build_toggle_study(
@@ -126,7 +142,7 @@ def design_comparison(
             design=design,
             seed=seed,
         )
-        result = run_single_study(study)
+        result = run_single_study(study, execution)
         analysis = analyze_study(result)
         stats_total: dict[str, int] = {}
         duration_total = 0.0
@@ -165,6 +181,7 @@ class ClockSyncQuality:
 def clock_sync_quality(
     message_counts: Sequence[int] = (5, 10, 25, 50),
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> list[ClockSyncQuality]:
     """How sync-message volume drives the guaranteed bound widths."""
     from repro.core.runtime.syncphase import SyncPhaseConfig
@@ -180,7 +197,7 @@ def clock_sync_quality(
             seed=seed,
         )
         study.sync = SyncPhaseConfig(messages_per_phase=count)
-        analysis = analyze_study(run_single_study(study))
+        analysis = analyze_study(run_single_study(study, execution))
         alpha_widths: list[float] = []
         beta_widths: list[float] = []
         uncertainties: list[float] = []
@@ -275,6 +292,7 @@ def chapter5_coverage_evaluation(
     recovery_probability: float = 0.7,
     fault_occurrence_weights: Mapping[str, float] | None = None,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> CoverageEvaluation:
     """Studies 1-3 of Chapter 5 plus the stratified-weighted overall coverage."""
     weights = dict(fault_occurrence_weights or {"black": 3.0, "yellow": 2.0, "green": 1.0})
@@ -297,7 +315,7 @@ def chapter5_coverage_evaluation(
             experiment_timeout=4.0,
             seed=seed + index,
         )
-        analysis = analyze_study(run_single_study(study))
+        analysis = analyze_study(run_single_study(study, execution))
         values = analysis.measure_values(coverage_study_measure(machine))
         kept = [value for value in values if value is not None]
         study_values[study.name] = values
@@ -329,6 +347,7 @@ def chapter5_correlation_evaluation(
     correlated_probability: float = 0.8,
     uncorrelated_probability: float = 0.25,
     seed: int = 0,
+    execution: ExecutionConfig | None = None,
 ) -> CorrelationEvaluation:
     """Studies 4 and 5: error correlation between leader crash and follower faults."""
     # Study 4: bfault1 crashes the leader, gfault2 is injected into the
@@ -349,7 +368,7 @@ def chapter5_correlation_evaluation(
         experiment_timeout=4.0,
         seed=seed,
     )
-    analysis4 = analyze_study(run_single_study(study4))
+    analysis4 = analyze_study(run_single_study(study4, execution))
     values4 = [
         value
         for value in analysis4.measure_values(crash_indicator_measure("green", "black"))
@@ -368,7 +387,7 @@ def chapter5_correlation_evaluation(
         experiment_timeout=4.0,
         seed=seed + 1,
     )
-    analysis5 = analyze_study(run_single_study(study5))
+    analysis5 = analyze_study(run_single_study(study5, execution))
     values5 = [
         value
         for value in analysis5.measure_values(crash_indicator_measure("green"))

@@ -22,10 +22,10 @@ from repro.analysis.verification import ExperimentVerification, verify_experimen
 from repro.core.campaign import (
     CampaignConfig,
     CampaignResult,
-    CampaignRunner,
     ExperimentResult,
     StudyResult,
 )
+from repro.core.execution import ExecutionConfig, build_executor
 from repro.core.specs.fault_spec import FaultSpecification
 from repro.measures.study import StudyMeasure
 from repro.measures.timeline_view import TimelineView
@@ -154,17 +154,34 @@ def analyze_campaign(result: CampaignResult) -> CampaignAnalysis:
     return analysis
 
 
-def run_and_analyze(config: CampaignConfig) -> CampaignAnalysis:
-    """Run the runtime phase and the analysis phase of a campaign."""
-    return analyze_campaign(CampaignRunner(config).run())
+def run_and_analyze(
+    config: CampaignConfig, execution: ExecutionConfig | None = None
+) -> CampaignAnalysis:
+    """Run the runtime phase and the analysis phase of a campaign.
+
+    Both phases are executed through the campaign execution engine
+    (:mod:`repro.core.execution`): the analysis of each experiment is fused
+    into the worker that ran it, and the raw ``local_timelines`` /
+    ``sync_messages`` payloads are dropped from every analyzed experiment
+    once analysis has consumed them — on *every* backend, so serial and
+    pooled runs return structurally identical results and large campaigns
+    stay memory-light.  Pass ``ExecutionConfig(keep_raw_results=True)`` to
+    retain the raw payloads.
+    """
+    return build_executor(execution or config.execution).run_and_analyze(config)
 
 
-def correct_injection_fraction(analyses: Sequence[AnalyzedExperiment]) -> float:
+def correct_injection_fraction(
+    analyses: Sequence[AnalyzedExperiment],
+) -> float | None:
     """Fraction of injections that were verified correct across experiments.
 
     This is the quantity plotted in Figures 3.2 and 3.3 (correct fault
     injection probability); experiments with no injections contribute
-    nothing to either count.
+    nothing to either count.  When *no* injections were observed at all
+    the fraction is undefined and ``None`` is returned — previously this
+    case returned ``0.0``, indistinguishable from "every injection was
+    wrong".
     """
     correct = 0
     total = 0
@@ -174,5 +191,5 @@ def correct_injection_fraction(analyses: Sequence[AnalyzedExperiment]) -> float:
             if verdict.correct:
                 correct += 1
     if total == 0:
-        return 0.0
+        return None
     return correct / total

@@ -28,17 +28,29 @@ class _QueueEntry:
 class EventHandle:
     """Handle returned by :meth:`SimKernel.schedule` for cancellation."""
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_kernel", "_in_queue")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: tuple) -> None:
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        kernel: "SimKernel | None" = None,
+    ) -> None:
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._kernel = kernel
+        self._in_queue = kernel is not None
 
     def cancel(self) -> None:
         """Prevent the callback from running when its time arrives."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._in_queue and self._kernel is not None:
+            self._kernel._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         name = getattr(self.callback, "__qualname__", repr(self.callback))
@@ -53,11 +65,16 @@ class SimKernel:
     simulation deterministic.
     """
 
+    #: Queues smaller than this are never compacted (the scan is cheap).
+    COMPACTION_MIN_QUEUE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_queue = 0
+        self._compactions = 0
         self._running = False
 
     @property
@@ -72,8 +89,17 @@ class SimKernel:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (not yet cancelled) callbacks."""
-        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+        """Number of scheduled (not yet cancelled) callbacks.
+
+        Maintained as a live counter, so this is O(1) rather than a scan of
+        the queue (experiments cancel large numbers of watchdog timers).
+        """
+        return len(self._queue) - self._cancelled_in_queue
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted (observability)."""
+        return self._compactions
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -87,7 +113,7 @@ class SimKernel:
             raise RuntimePhaseError(
                 f"cannot schedule an event at t={time} before current time t={self._now}"
             )
-        handle = EventHandle(time, callback, args)
+        handle = EventHandle(time, callback, args, kernel=self)
         heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
         return handle
 
@@ -97,7 +123,9 @@ class SimKernel:
             entry = heapq.heappop(self._queue)
             handle = entry.handle
             if handle.cancelled:
+                self._discard(handle)
                 continue
+            handle._in_queue = False
             self._now = entry.time
             self._events_processed += 1
             handle.callback(*handle.args)
@@ -141,9 +169,50 @@ class SimKernel:
             entry = self._queue[0]
             if entry.handle.cancelled:
                 heapq.heappop(self._queue)
+                self._discard(entry.handle)
                 continue
             return entry.time
         return None
+
+    # -- lazy-deletion bookkeeping ----------------------------------------------------
+    #
+    # Cancelled entries stay in the heap until they surface at the top
+    # (classic lazy deletion).  Long campaigns cancel very large numbers of
+    # watchdog and retransmission timers whose firing times lie far in the
+    # future, so without intervention the heap grows without bound and every
+    # push pays log(dead + live).  The kernel therefore counts cancelled
+    # entries still in the heap and rebuilds the heap from the live entries
+    # once the dead ones dominate.  Compaction preserves each entry's
+    # (time, seq) ordering key, so callback execution order — and with it
+    # simulation determinism — is unchanged.
+
+    def _discard(self, handle: EventHandle) -> None:
+        """A cancelled entry left the heap: keep the live counter honest."""
+        if handle._in_queue:
+            handle._in_queue = False
+            self._cancelled_in_queue -= 1
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` while the entry is queued."""
+        self._cancelled_in_queue += 1
+        if (
+            len(self._queue) >= self.COMPACTION_MIN_QUEUE
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the live ones."""
+        live: list[_QueueEntry] = []
+        for entry in self._queue:
+            if entry.handle.cancelled:
+                entry.handle._in_queue = False
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled_in_queue = 0
+        self._compactions += 1
 
     def advance_to(self, time: float) -> None:
         """Advance the clock with no callbacks (used between experiments)."""

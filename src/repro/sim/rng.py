@@ -35,16 +35,27 @@ class RandomStreams:
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
         if name not in self._streams:
-            self._streams[name] = random.Random(self._derive(name))
+            self._streams[name] = random.Random(self.derive(name))
         return self._streams[name]
 
     def spawn(self, name: str) -> "RandomStreams":
         """Return a child factory whose streams are independent of ours."""
-        return RandomStreams(self._derive(name))
+        return RandomStreams(self.derive(name))
 
-    def _derive(self, name: str) -> int:
+    def derive(self, name: str) -> int:
+        """Derive the 64-bit seed for ``name`` without creating a stream.
+
+        This is the public, stable seed-derivation function: anything that
+        needs a raw integer seed tied to this factory (for example the
+        campaign runner deriving per-experiment seeds, possibly in a worker
+        process) must use it rather than reimplementing the hash, so serial
+        and parallel execution provably agree on every seed.
+        """
         digest = hashlib.sha256(f"{self._seed}:{name}".encode("utf-8")).digest()
         return int.from_bytes(digest[:8], "big")
+
+    #: Backwards-compatible alias; prefer :meth:`derive`.
+    _derive = derive
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"RandomStreams(seed={self._seed}, streams={sorted(self._streams)})"

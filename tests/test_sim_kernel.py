@@ -142,3 +142,66 @@ def test_events_processed_counter():
         kernel.schedule(float(i), lambda: None)
     kernel.run()
     assert kernel.events_processed == 5
+
+
+def test_cancelling_twice_keeps_pending_consistent():
+    kernel = SimKernel()
+    handle = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert kernel.pending == 1
+
+
+def test_cancel_after_execution_keeps_pending_consistent():
+    kernel = SimKernel()
+    handle = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    kernel.step()
+    handle.cancel()  # already ran: must not corrupt the live counter
+    assert kernel.pending == 1
+    kernel.run()
+    assert kernel.pending == 0
+
+
+def test_heap_compaction_drops_dominating_cancelled_entries():
+    kernel = SimKernel()
+    doomed = [kernel.schedule(1e6 + i, lambda: None) for i in range(200)]
+    kernel.schedule(1.0, lambda: None)
+    for handle in doomed:
+        handle.cancel()
+    # The cancelled entries dominated the heap, so it was compacted
+    # instead of lingering until their (far-future) times surface.  Only
+    # sub-threshold residues may remain.
+    assert kernel.compactions >= 1
+    assert len(kernel._queue) < SimKernel.COMPACTION_MIN_QUEUE
+    assert kernel.pending == 1
+
+
+def test_small_queues_are_not_compacted():
+    kernel = SimKernel()
+    handles = [kernel.schedule(10.0 + i, lambda: None) for i in range(10)]
+    for handle in handles:
+        handle.cancel()
+    assert kernel.compactions == 0
+    assert kernel.pending == 0
+
+
+def test_compaction_preserves_execution_order():
+    kernel = SimKernel()
+    order = []
+    live = []
+    doomed = []
+    # Interleave live and to-be-cancelled events at identical times to
+    # stress the (time, seq) ordering across a compaction.
+    for i in range(100):
+        live.append(kernel.schedule(float(i % 7), order.append, i))
+        doomed.append(kernel.schedule(float(i % 7), order.append, -i - 1))
+    doomed.extend(kernel.schedule(50.0, order.append, -1000 - i) for i in range(20))
+    expected = sorted(range(100), key=lambda i: (i % 7, i))
+    for handle in doomed:
+        handle.cancel()
+    assert kernel.compactions >= 1
+    kernel.run()
+    assert order == expected
+    assert kernel.events_processed == 100
