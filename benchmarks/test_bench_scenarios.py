@@ -1,0 +1,44 @@
+"""SCENARIOS: cross-scenario campaign comparison over the scenario registry.
+
+Enumerates every scenario of ``repro.scenarios.DEFAULT_REGISTRY`` — the
+three paper applications plus the two-phase-commit and token-ring
+workloads in correlated and uncorrelated fault variants — runs a small
+campaign per scenario, and prints the injection-probability and study
+measure estimates side by side.  The pytest-benchmark fixture times one
+single-experiment scenario campaign.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.experiments import scenario_comparison
+from repro.scenarios import default_registry
+
+EXPERIMENTS = 2
+SEED = 7
+
+
+def test_bench_scenario_comparison(benchmark):
+    """Run every registered scenario and print the comparison table."""
+    registry = default_registry()
+    rows = scenario_comparison(experiments=EXPERIMENTS, seed=SEED)
+    assert len(rows) == len(registry)
+    assert all(row.experiments == EXPERIMENTS for row in rows)
+
+    benchmark(scenario_comparison, names=("toggle",), experiments=1, seed=1)
+
+    print_table(
+        f"Scenario registry — {len(rows)} scenarios, {EXPERIMENTS} experiments each",
+        ["scenario", "accepted", "injections", "correct fraction", "measure", "mean"],
+        [
+            [
+                row.scenario,
+                f"{row.accepted}/{row.experiments}",
+                str(row.injections),
+                f"{row.correct_fraction:.2f}" if row.correct_fraction is not None else "n/a",
+                row.measure_name or "n/a",
+                f"{row.measure_mean:.4f}" if row.measure_mean is not None else "n/a",
+            ]
+            for row in rows
+        ],
+    )

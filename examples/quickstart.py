@@ -3,27 +3,41 @@
 
 This script runs the smallest useful Loki evaluation end to end:
 
-1. a two-node application (a *driver* toggling between IDLE and ACTIVE and
-   an *observer*) is wrapped into Loki nodes;
-2. the fault ``fstate ((driver:ACTIVE) & (observer:READY)) always`` is
-   injected whenever the observer's partial view says the global state is
-   right;
+1. a scenario is looked up in the scenario registry (by default ``toggle``:
+   a *driver* toggling between IDLE and ACTIVE and an *observer* carrying
+   the fault ``fstate ((driver:ACTIVE) & (observer:READY)) always``);
+2. the study built by the registry runs on the chosen execution backend,
+   injecting faults whenever a partial view says the global state is right;
 3. the analysis phase synchronizes the clocks offline, builds the global
    timeline, and checks every injection;
-4. a study measure counts how long the driver spent ACTIVE per experiment.
+4. the scenario's own study measure summarizes the accepted experiments.
+
+Use ``--scenario`` to run any other registered workload (see
+``examples/scenario_tour.py`` for the full list).
 """
 
 import argparse
 
-from repro.apps.toggle import DRIVER, build_toggle_study
 from repro.core.campaign import run_single_study
 from repro.core.execution import ExecutionConfig, available_backends
-from repro.measures import MeasureStep, StateTuple, StudyMeasure, TotalDuration, summarize_sample
+from repro.measures import summarize_sample
 from repro.pipeline import analyze_study, correct_injection_fraction
+from repro.scenarios import default_registry
 
 
 def main() -> None:
+    registry = default_registry()
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", choices=registry.names(), default="toggle",
+                        help="registered scenario to run")
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be at least 1")
+        return value
+
+    parser.add_argument("--experiments", type=positive_int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", choices=available_backends(), default="serial",
                         help="campaign execution backend (results are identical)")
     parser.add_argument("--workers", type=int, default=None,
@@ -31,15 +45,12 @@ def main() -> None:
     options = parser.parse_args()
     execution = ExecutionConfig(backend=options.backend, workers=options.workers)
 
-    study = build_toggle_study(
-        name="quickstart",
-        dwell_time=0.020,       # the driver holds ACTIVE for 20 ms
-        timeslice=0.010,        # hosts run a 10 ms OS timeslice
-        cycles=5,
-        experiments=4,
-    )
-    print(f"Running study {study.name!r}: {study.experiments} experiments, "
+    scenario = registry.get(options.scenario)
+    study = scenario.build(experiments=options.experiments, seed=options.seed)
+    print(f"Running scenario {scenario.name!r}: {study.experiments} experiments, "
           f"design {study.design.describe()}, backend {execution.backend}")
+    for line in scenario.fault_lines():
+        print(f"  fault: {line}")
     result = run_single_study(study, execution)
     analysis = analyze_study(result)
 
@@ -49,16 +60,15 @@ def main() -> None:
     print("Correct-injection fraction: "
           + (f"{fraction:.2f}" if fraction is not None else "n/a (no injections observed)"))
 
-    active_time = StudyMeasure(
-        name="driver-active-time",
-        steps=(MeasureStep(StateTuple(DRIVER, "ACTIVE"), TotalDuration("T")),),
-    )
-    values = [value for value in analysis.measure_values(active_time) if value is not None]
-    if values:
-        summary = summarize_sample(values)
-        print(f"Driver time in ACTIVE per experiment: mean={summary.mean * 1000:.1f} ms, "
-              f"std={summary.standard_deviation * 1000:.2f} ms "
-              f"(n={summary.count})")
+    if scenario.measure_factory is not None:
+        measure = scenario.measure_factory()
+        values = [value for value in analysis.measure_values(measure) if value is not None]
+        if values:
+            summary = summarize_sample(values)
+            print(f"Study measure {measure.name!r}: mean={summary.mean:.4f}, "
+                  f"std={summary.standard_deviation:.4f} (n={summary.count})")
+        else:
+            print(f"Study measure {measure.name!r}: no surviving values")
 
     example = accepted[0] if accepted else analysis.experiments[0]
     print("\nClock bounds of the first experiment (relative to "

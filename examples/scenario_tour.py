@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scenario tour: enumerate the scenario registry and compare the campaigns.
+
+Every workload the library ships — the three paper applications plus the
+two-phase-commit and token-ring scenarios in correlated and uncorrelated
+fault variants — is registered in ``repro.scenarios.DEFAULT_REGISTRY``.
+This script lists the registry (the same metadata behind the README
+scenario table) and then runs a small campaign per scenario, printing the
+injection statistics and each scenario's own study measure side by side.
+"""
+
+import argparse
+
+from repro.core.execution import ExecutionConfig, available_backends
+from repro.experiments import scenario_comparison
+from repro.scenarios import default_registry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=available_backends(), default="serial")
+    parser.add_argument("--workers", type=int, default=None)
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be at least 1")
+        return value
+
+    parser.add_argument("--experiments", type=positive_int, default=3,
+                        help="experiments per scenario")
+    parser.add_argument("--seed", type=int, default=0)
+    options = parser.parse_args()
+    execution = ExecutionConfig(backend=options.backend, workers=options.workers)
+
+    registry = default_registry()
+    print(f"=== {len(registry)} registered scenarios ===")
+    for scenario in registry:
+        print(f"  {scenario.name:32s} {scenario.description}")
+        for line in scenario.fault_lines():
+            print(f"    fault: {line}")
+
+    print(f"\n=== Cross-scenario comparison "
+          f"({options.experiments} experiments each, backend {execution.backend}) ===")
+    header = (f"{'scenario':32s} {'accepted':>9s} {'inject':>7s} "
+              f"{'correct':>8s} {'measure':>24s} {'mean':>9s}")
+    print(header)
+    print("-" * len(header))
+    for row in scenario_comparison(experiments=options.experiments, seed=options.seed,
+                                   execution=execution):
+        correct = f"{row.correct_fraction:8.2f}" if row.correct_fraction is not None else f"{'n/a':>8s}"
+        mean = f"{row.measure_mean:9.4f}" if row.measure_mean is not None else f"{'n/a':>9s}"
+        print(f"{row.scenario:32s} {row.accepted:>4d}/{row.experiments:<4d} "
+              f"{row.injections:7d} {correct} {row.measure_name or 'n/a':>24s} {mean}")
+
+
+if __name__ == "__main__":
+    main()

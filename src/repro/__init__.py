@@ -11,9 +11,12 @@ The library is organized around the paper's three phases:
   measure language and the simple-sampling / stratified campaign
   estimators.
 
-:mod:`repro.pipeline` ties the phases together, and :mod:`repro.apps`
-contains the instrumented example applications (leader election, the
-Figure 3.2/3.3 toggle workload, and primary-backup replication).
+:mod:`repro.pipeline` ties the phases together; :mod:`repro.apps` contains
+the instrumented example applications (leader election, the Figure 3.2/3.3
+toggle workload, primary-backup replication, two-phase commit, and
+token-ring mutual exclusion); and :mod:`repro.scenarios` registers every
+application as a named, parameterized scenario that the execution engine,
+examples, and benchmarks enumerate.
 """
 
 from repro.core.campaign import (
@@ -47,6 +50,13 @@ from repro.pipeline import (
     correct_injection_fraction,
     run_and_analyze,
 )
+from repro.scenarios import (
+    DEFAULT_REGISTRY,
+    Scenario,
+    ScenarioRegistry,
+    build_default_registry,
+    default_registry,
+)
 
 __version__ = "1.0.0"
 
@@ -57,6 +67,7 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CommunicationMode",
+    "DEFAULT_REGISTRY",
     "DaemonPlacement",
     "ExecutionConfig",
     "ExperimentResult",
@@ -65,6 +76,8 @@ __all__ = [
     "ProcessPoolExecutor",
     "RestartPolicy",
     "RuntimeDesign",
+    "Scenario",
+    "ScenarioRegistry",
     "SerialExecutor",
     "StudyAnalysis",
     "StudyConfig",
@@ -74,8 +87,10 @@ __all__ = [
     "analyze_experiment",
     "analyze_study",
     "available_backends",
+    "build_default_registry",
     "build_executor",
     "correct_injection_fraction",
+    "default_registry",
     "run_and_analyze",
     "run_and_analyze_experiment",
     "run_campaign",

@@ -1,6 +1,6 @@
 """Instrumented test applications (the systems under study).
 
-Three applications exercise the public API on realistic scenarios:
+Five applications exercise the public API on realistic scenarios:
 
 * :mod:`repro.apps.election` — the leader-election protocol of Chapter 5,
   used for the coverage and error-correlation evaluations;
@@ -9,7 +9,16 @@ Three applications exercise the public API on realistic scenarios:
   probability as a function of the time spent in a state);
 * :mod:`repro.apps.replication` — a primary-backup replication service with
   global-state-driven faults (crash the primary while a backup is
-  synchronizing).
+  synchronizing);
+* :mod:`repro.apps.twophase` — a two-phase-commit service whose faults
+  target the in-doubt window (coordinator crash while a participant has
+  voted and waits for the decision);
+* :mod:`repro.apps.tokenring` — token-ring mutual exclusion with token-loss
+  and holder-crash faults.
+
+Every application is registered as a scenario in
+:mod:`repro.scenarios`, which is the preferred way to enumerate and build
+them.
 """
 
 from repro.apps.election import (
@@ -30,18 +39,36 @@ from repro.apps.toggle import (
     driver_state_machine_spec,
     observer_state_machine_spec,
 )
+from repro.apps.tokenring import (
+    TokenRingApplication,
+    build_tokenring_study,
+    ring_state_machine_spec,
+)
+from repro.apps.twophase import (
+    TwoPhaseCommitApplication,
+    build_twophase_study,
+    coordinator_state_machine_spec,
+    participant_state_machine_spec,
+)
 
 __all__ = [
     "LeaderElectionApplication",
     "ReplicationApplication",
     "ToggleDriverApplication",
     "ToggleObserverApplication",
+    "TokenRingApplication",
+    "TwoPhaseCommitApplication",
     "build_election_study",
     "build_replication_study",
     "build_toggle_study",
+    "build_tokenring_study",
+    "build_twophase_study",
+    "coordinator_state_machine_spec",
     "driver_state_machine_spec",
     "election_fault_specification",
     "election_state_machine_spec",
     "observer_state_machine_spec",
+    "participant_state_machine_spec",
     "replication_state_machine_spec",
+    "ring_state_machine_spec",
 ]

@@ -27,6 +27,14 @@ from repro.core.specs.state_machine import (
     StateSpecification,
     build_specification,
 )
+from repro.measures import (
+    MeasureStep,
+    StateTuple,
+    StudyMeasure,
+    TotalDuration,
+    UserObservation,
+    value_positive,
+)
 
 #: The three state machines of the worked example.
 DEFAULT_MACHINES = ("black", "yellow", "green")
@@ -126,6 +134,26 @@ def uncorrelated_follower_fault(follower: str, name: str | None = None) -> Fault
 def election_fault_specification(*faults: FaultDefinition) -> FaultSpecification:
     """Wrap the fault definitions that apply to one machine."""
     return FaultSpecification.from_definitions(faults)
+
+
+def coverage_study_measure(machine: str) -> StudyMeasure:
+    """The Section 5.8 coverage study measure as an indicator (0/1) value.
+
+    Given that ``machine`` crashed, did the restart mechanism bring it
+    back (time in ``RESTART_SM`` greater than zero)?  Shared by the
+    Chapter 5 evaluation harness and the scenario registry.
+    """
+    indicator = UserObservation(
+        lambda timeline: 1.0 if timeline.true_duration() > 0 else 0.0,
+        name="total_duration(T) > 0",
+    )
+    return StudyMeasure(
+        name=f"{machine}-coverage",
+        steps=(
+            MeasureStep(StateTuple(machine, "CRASH"), TotalDuration("T")),
+            MeasureStep(StateTuple(machine, "RESTART_SM"), indicator, value_positive()),
+        ),
+    )
 
 
 @dataclass

@@ -1,0 +1,297 @@
+"""A token-ring mutual-exclusion service with token-loss and crash faults.
+
+The machines form a logical ring (nickname order); a single token grants
+the right to enter the critical section.  The holder sits in ``HOLDING``
+for a fixed hold time, then passes the token to the next live machine of
+the ring and returns to ``WAITING``.  Every machine monitors the time
+since it last saw the token; when that exceeds the loss timeout, the
+lowest-named machine that is not known to have crashed regenerates the
+token — the standard ring-recovery rule.
+
+Two fault kinds are injected:
+
+* **token loss** — faults named with the ``tloss_`` prefix (or listed in
+  ``TokenRingParameters.token_loss_fault_names``) do not crash the
+  process; instead the token currently held silently vanishes when it
+  would be passed on, exercising the regeneration path;
+* **holder crash** — any other fault crashes the machine (taking the token
+  with it when it holds one).  The correlated variant crashes a second
+  holder only once it knows a first machine has crashed —
+  ``((other:CRASH) & (holder:HOLDING))`` — a global state no local-view
+  injector can target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign import HostConfig, StudyConfig
+from repro.core.expression import And, StateAtom
+from repro.core.runtime.application import LokiApplication, NodeContext
+from repro.core.runtime.context import NodeDefinition, RestartPolicy
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.specs.state_machine import (
+    StateMachineSpecification,
+    StateSpecification,
+    build_specification,
+)
+
+#: Default nicknames of the ring machines (ring order = sorted nicknames).
+DEFAULT_MACHINES = ("node1", "node2", "node3")
+
+RING_STATES = ("BEGIN", "INIT", "WAITING", "HOLDING", "CRASH", "EXIT")
+RING_EVENTS = ("WAIT", "ACQUIRE", "RELEASE", "ERROR")
+
+#: Fault-name prefix that marks an injection as a token loss (no crash).
+#: Dispatch is by exact prefix (or an explicit entry in
+#: :attr:`TokenRingParameters.token_loss_fault_names`), never by substring,
+#: so a crash fault whose name merely contains ``tloss`` keeps crashing.
+TOKEN_LOSS_PREFIX = "tloss_"
+
+
+def ring_state_machine_spec(name: str, peers: tuple[str, ...]) -> StateMachineSpecification:
+    """State machine of one ring member.
+
+    HOLDING and CRASH notify the other machines: fault expressions
+    reference them, and the regeneration rule needs to know who crashed.
+    """
+    others = tuple(peer for peer in peers if peer != name)
+    states = [
+        StateSpecification(
+            name="INIT",
+            notify=(),
+            transitions={"WAIT": "WAITING", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="WAITING",
+            notify=(),
+            transitions={"ACQUIRE": "HOLDING", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="HOLDING",
+            notify=others,
+            transitions={"RELEASE": "WAITING", "ERROR": "EXIT"},
+        ),
+        StateSpecification(name="CRASH", notify=others, transitions={}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, RING_STATES, RING_EVENTS, states)
+
+
+def holder_crash_fault(holder: str, name: str | None = None) -> FaultDefinition:
+    """``(holder:HOLDING) once`` — crash the machine while it holds the token."""
+    return FaultDefinition(
+        name=name or f"{holder}_hcrash",
+        expression=StateAtom(holder, "HOLDING"),
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+def correlated_holder_crash_fault(
+    crashed: str, holder: str, name: str | None = None
+) -> FaultDefinition:
+    """``((crashed:CRASH) & (holder:HOLDING)) once`` — the correlated variant.
+
+    The second machine crashes only while holding the token *after* it has
+    learned that ``crashed`` went down, compounding the ring's recovery
+    work.
+    """
+    expression = And(StateAtom(crashed, "CRASH"), StateAtom(holder, "HOLDING"))
+    return FaultDefinition(
+        name=name or f"{holder}_hcrash2",
+        expression=expression,
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+def token_loss_fault(holder: str, name: str | None = None) -> FaultDefinition:
+    """``(holder:HOLDING) once`` with a token-loss (non-crash) effect.
+
+    The default name carries the :data:`TOKEN_LOSS_PREFIX`, which
+    :class:`TokenRingApplication` interprets as "drop the token instead of
+    crashing"; a custom ``name`` without the prefix must also be listed in
+    :attr:`TokenRingParameters.token_loss_fault_names`.
+    """
+    return FaultDefinition(
+        name=name or f"{TOKEN_LOSS_PREFIX}{holder}",
+        expression=StateAtom(holder, "HOLDING"),
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+@dataclass
+class TokenRingParameters:
+    """Tunable timing and behaviour of the token-ring application.
+
+    ``token_loss_fault_names`` lists fault names (beyond those starting
+    with :data:`TOKEN_LOSS_PREFIX`) whose injection drops the token
+    instead of crashing the holder.
+    """
+
+    init_delay: float = 0.008
+    token_delay: float = 0.005
+    hold_time: float = 0.007
+    loss_timeout: float = 0.070
+    monitor_interval: float = 0.020
+    run_duration: float = 0.6
+    fault_crash_probability: float = 1.0
+    fault_dormancy: float = 0.002
+    token_loss_fault_names: tuple[str, ...] = ()
+
+
+class TokenRingApplication(LokiApplication):
+    """One member of the token ring."""
+
+    def __init__(self, parameters: TokenRingParameters | None = None) -> None:
+        self.parameters = parameters or TokenRingParameters()
+        self._last_token = 0.0
+        self._drop_next_token = False
+        self._entries = 0
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT")
+        ctx.set_timer(self.parameters.run_duration, self._finish, ctx)
+        ctx.set_timer(self.parameters.init_delay, self._join_ring, ctx)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive and not self._stopped:
+            self._stopped = True
+            ctx.exit()
+
+    def _ring(self, ctx: NodeContext) -> tuple[str, ...]:
+        return tuple(sorted(ctx.peers()))
+
+    def _join_ring(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive or ctx.current_state != "INIT":
+            return
+        ctx.notify_event("WAIT")
+        self._last_token = ctx.local_time()
+        ctx.set_timer(self.parameters.monitor_interval, self._monitor, ctx)
+        if self._ring(ctx)[0] == ctx.nickname:
+            # The lowest-named machine introduces the initial token.
+            ctx.set_timer(self.parameters.token_delay, self._acquire, ctx)
+
+    # -- the token protocol -----------------------------------------------------------
+
+    def _acquire(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive or ctx.current_state != "WAITING":
+            return
+        self._entries += 1
+        self._last_token = ctx.local_time()
+        ctx.notify_event("ACQUIRE")
+        ctx.set_timer(self.parameters.hold_time, self._release, ctx)
+
+    def _release(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive or ctx.current_state != "HOLDING":
+            return
+        ctx.notify_event("RELEASE")
+        if self._drop_next_token:
+            # An injected token-loss fault: the token vanishes here and the
+            # loss-timeout regeneration rule has to recover it.
+            self._drop_next_token = False
+            return
+        successor = self._successor(ctx)
+        if successor is not None:
+            ctx.send(successor, {"type": "token"})
+
+    def _successor(self, ctx: NodeContext) -> str | None:
+        """The next ring member not known (via the partial view) to have crashed."""
+        ring = self._ring(ctx)
+        view = ctx.partial_view
+        start = ring.index(ctx.nickname)
+        for step in range(1, len(ring) + 1):
+            candidate = ring[(start + step) % len(ring)]
+            if candidate == ctx.nickname:
+                continue
+            if view.get(candidate) != "CRASH":
+                return candidate
+        return None
+
+    def on_message(self, ctx: NodeContext, source: str, payload: object) -> None:
+        if self._stopped or not isinstance(payload, dict):
+            return
+        if payload.get("type") != "token":
+            return
+        self._last_token = ctx.local_time()
+        if ctx.current_state == "WAITING":
+            self._acquire(ctx)
+        # A token arriving in any other state is a duplicate (e.g. after a
+        # regeneration raced a slow pass) and is silently retired.
+
+    # -- token-loss recovery --------------------------------------------------------------
+
+    def _monitor(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        silence = ctx.local_time() - self._last_token
+        if silence > self.parameters.loss_timeout and ctx.current_state == "WAITING":
+            view = ctx.partial_view
+            candidates = [
+                member for member in self._ring(ctx) if view.get(member) != "CRASH"
+            ]
+            if candidates and candidates[0] == ctx.nickname:
+                self._acquire(ctx)
+        ctx.set_timer(self.parameters.monitor_interval, self._monitor, ctx)
+
+    # -- fault injection --------------------------------------------------------------------
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        if (
+            fault_name.startswith(TOKEN_LOSS_PREFIX)
+            or fault_name in self.parameters.token_loss_fault_names
+        ):
+            self._drop_next_token = True
+            return
+        if ctx.random.random() < self.parameters.fault_crash_probability:
+            ctx.set_timer(
+                self.parameters.fault_dormancy,
+                lambda: ctx.crash(reason=f"fault {fault_name} became an error"),
+            )
+
+
+def build_tokenring_study(
+    name: str,
+    faults_by_machine: dict[str, tuple[FaultDefinition, ...]] | None = None,
+    machines: tuple[str, ...] = DEFAULT_MACHINES,
+    hosts: tuple[str, ...] = ("hosta", "hostb", "hostc"),
+    experiments: int = 10,
+    parameters: TokenRingParameters | None = None,
+    experiment_timeout: float | None = None,
+    seed: int = 0,
+    weight: float = 1.0,
+) -> StudyConfig:
+    """Assemble a ready-to-run token-ring study.
+
+    The default faults are the correlated pair: the first machine crashes
+    while holding the token, and the second crashes while holding it once
+    it knows about the first crash.
+    """
+    parameters = parameters or TokenRingParameters()
+    if faults_by_machine is None:
+        faults_by_machine = {
+            machines[0]: (holder_crash_fault(machines[0]),),
+            machines[1]: (correlated_holder_crash_fault(machines[0], machines[1]),),
+        }
+    nodes = [
+        NodeDefinition(
+            nickname=machine,
+            specification=ring_state_machine_spec(machine, machines),
+            faults=FaultSpecification.from_definitions(faults_by_machine.get(machine, ())),
+            application_factory=lambda parameters=parameters: TokenRingApplication(parameters),
+            start_host=hosts[index % len(hosts)],
+        )
+        for index, machine in enumerate(machines)
+    ]
+    return StudyConfig(
+        name=name,
+        hosts=[HostConfig(name=host) for host in hosts],
+        nodes=nodes,
+        experiments=experiments,
+        restart_policy=RestartPolicy(enabled=False),
+        experiment_timeout=experiment_timeout or parameters.run_duration + 2.0,
+        seed=seed,
+        weight=weight,
+    )

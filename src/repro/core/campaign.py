@@ -131,6 +131,10 @@ class StudyConfig:
         """A copy of the study with a different experiment count."""
         return replace(self, experiments=experiments)
 
+    def with_seed(self, seed: int) -> "StudyConfig":
+        """A copy of the study with a different master seed."""
+        return replace(self, seed=seed)
+
 
 @dataclass
 class CampaignConfig:

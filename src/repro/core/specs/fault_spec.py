@@ -109,6 +109,14 @@ class FaultSpecification:
             result |= fault.machines()
         return result
 
+    def describe(self) -> tuple[str, ...]:
+        """One human-readable specification line per fault.
+
+        Used by the scenario registry to derive fault metadata (and the
+        README scenario table) straight from the built studies.
+        """
+        return tuple(fault.to_text() for fault in self.faults)
+
     @classmethod
     def from_definitions(cls, definitions: Iterable[FaultDefinition]) -> "FaultSpecification":
         """Build a specification from an iterable of definitions."""

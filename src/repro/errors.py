@@ -36,6 +36,14 @@ class RuntimeConfigurationError(ReproError):
     """
 
 
+class UnknownScenarioError(ReproError):
+    """A scenario name was not found in the scenario registry.
+
+    Raised by :meth:`repro.scenarios.ScenarioRegistry.get`; the message
+    lists the known scenario names so a typo is immediately diagnosable.
+    """
+
+
 class RuntimePhaseError(ReproError):
     """An unrecoverable error occurred while executing an experiment."""
 

@@ -13,9 +13,11 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.apps.election import (
+    DEFAULT_MACHINES,
     ElectionParameters,
     build_election_study,
     correlated_follower_fault,
+    coverage_study_measure,
     leader_fault,
     uncorrelated_follower_fault,
 )
@@ -34,8 +36,70 @@ from repro.measures import (
     value_positive,
 )
 from repro.pipeline import analyze_study, correct_injection_fraction
+from repro.scenarios import ScenarioRegistry, default_registry
 
-ELECTION_MACHINES = ("black", "yellow", "green")
+ELECTION_MACHINES = DEFAULT_MACHINES
+
+
+# ---------------------------------------------------------------------------
+# Cross-scenario campaign comparison (the scenario registry as a workload set)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioComparisonRow:
+    """One scenario's row of the cross-scenario campaign comparison."""
+
+    scenario: str
+    experiments: int
+    accepted: int
+    injections: int
+    correct_fraction: float | None
+    measure_name: str | None
+    measure_mean: float | None
+
+
+def scenario_comparison(
+    names: Sequence[str] | None = None,
+    experiments: int = 3,
+    seed: int = 0,
+    execution: ExecutionConfig | None = None,
+    registry: ScenarioRegistry | None = None,
+) -> list[ScenarioComparisonRow]:
+    """Run every (selected) registered scenario and compare the campaigns.
+
+    For each scenario the row reports how many experiments survived the
+    analysis phase, the injection count and correct-injection fraction,
+    and the mean of the scenario's own study measure over the accepted
+    experiments.  ``names=None`` enumerates the whole registry; each
+    scenario gets ``seed + position`` so the studies stay decorrelated.
+    """
+    registry = registry or default_registry()
+    rows: list[ScenarioComparisonRow] = []
+    for offset, name in enumerate(names if names is not None else registry.names()):
+        scenario = registry.get(name)
+        study = scenario.build(experiments=experiments, seed=seed + offset)
+        analysis = analyze_study(run_single_study(study, execution))
+        injections = sum(len(e.verification.verdicts) for e in analysis.experiments)
+        measure_name: str | None = None
+        measure_mean: float | None = None
+        if scenario.measure_factory is not None:
+            measure = scenario.measure_factory()
+            measure_name = measure.name
+            values = [v for v in analysis.measure_values(measure) if v is not None]
+            if values:
+                measure_mean = sum(values) / len(values)
+        rows.append(
+            ScenarioComparisonRow(
+                scenario=name,
+                experiments=len(analysis.experiments),
+                accepted=len(analysis.accepted()),
+                injections=injections,
+                correct_fraction=correct_injection_fraction(analysis.experiments),
+                measure_name=measure_name,
+                measure_mean=measure_mean,
+            )
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------
@@ -222,21 +286,6 @@ def clock_sync_quality(
 # ---------------------------------------------------------------------------
 # Chapter 5: coverage and error-correlation evaluations
 # ---------------------------------------------------------------------------
-
-def coverage_study_measure(machine: str) -> StudyMeasure:
-    """The Section 5.8 coverage study measure as an indicator (0/1) value."""
-    indicator = UserObservation(
-        lambda timeline: 1.0 if timeline.true_duration() > 0 else 0.0,
-        name="total_duration(T) > 0",
-    )
-    return StudyMeasure(
-        name=f"{machine}-coverage",
-        steps=(
-            MeasureStep(StateTuple(machine, "CRASH"), TotalDuration("T")),
-            MeasureStep(StateTuple(machine, "RESTART_SM"), indicator, value_positive()),
-        ),
-    )
-
 
 def crash_indicator_measure(machine: str, conditioned_on: str | None = None) -> StudyMeasure:
     """Study measures of the Section 5.8 correlation evaluation.

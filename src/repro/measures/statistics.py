@@ -50,30 +50,44 @@ class MomentSummary:
         return math.sqrt(max(self.central_moment_2, 0.0))
 
     @property
+    def _degenerate_spread(self) -> bool:
+        """Whether the spread is too small for shape coefficients.
+
+        All four shape coefficients share this single guard so they stay
+        mutually consistent (``beta1 == gamma1**2``, ``gamma2 == beta2 - 3``)
+        even for nearly-degenerate samples, where ``mu2`` can be positive
+        while its powers underflow to zero.  ``mu2**2`` is the first power
+        to underflow, so guarding on it covers every denominator used.
+        """
+        return self.central_moment_2**2 <= 0.0
+
+    @property
     def skewness_coefficient(self) -> float:
-        """Pearson's ``beta1 = mu3^2 / mu2^3`` (0 for a degenerate sample)."""
-        if self.central_moment_2 <= 0:
-            return 0.0
-        return self.central_moment_3**2 / self.central_moment_2**3
+        """Pearson's ``beta1 = mu3^2 / mu2^3`` (0 for a degenerate sample).
+
+        Computed as ``gamma1**2`` so the ``beta1 == gamma1**2`` identity
+        holds exactly.
+        """
+        return self.skewness**2
 
     @property
     def kurtosis_coefficient(self) -> float:
         """Pearson's ``beta2 = mu4 / mu2^2`` (0 for a degenerate sample)."""
-        if self.central_moment_2 <= 0:
+        if self._degenerate_spread:
             return 0.0
         return self.central_moment_4 / self.central_moment_2**2
 
     @property
     def skewness(self) -> float:
         """The standardized third moment ``gamma1 = mu3 / mu2^(3/2)``."""
-        if self.central_moment_2 <= 0:
+        if self._degenerate_spread:
             return 0.0
         return self.central_moment_3 / self.central_moment_2**1.5
 
     @property
     def excess_kurtosis(self) -> float:
-        """``gamma2 = mu4 / mu2^2 - 3``."""
-        if self.central_moment_2 <= 0:
+        """``gamma2 = mu4 / mu2^2 - 3`` (0 for a degenerate sample)."""
+        if self._degenerate_spread:
             return 0.0
         return self.kurtosis_coefficient - 3.0
 

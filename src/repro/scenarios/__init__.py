@@ -1,0 +1,25 @@
+"""Scenario registry: named, parameterized workloads over the example apps.
+
+:class:`ScenarioRegistry` maps scenario names to :class:`Scenario` entries,
+each wrapping a parameterized :class:`~repro.core.campaign.StudyConfig`
+builder plus the study measure that makes its results comparable.
+:data:`DEFAULT_REGISTRY` (also via :func:`default_registry`) holds the
+built-in catalog: the three paper applications plus the two-phase-commit
+and token-ring workloads in correlated and uncorrelated fault variants.
+"""
+
+from repro.scenarios.catalog import (
+    DEFAULT_REGISTRY,
+    build_default_registry,
+    default_registry,
+)
+from repro.scenarios.registry import Scenario, ScenarioRegistry, StudyBuilder
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "Scenario",
+    "ScenarioRegistry",
+    "StudyBuilder",
+    "build_default_registry",
+    "default_registry",
+]

@@ -1,0 +1,228 @@
+"""The default scenario catalog: every example application as a scenario.
+
+Registers the three applications that existed before the registry (toggle,
+leader election, primary-backup replication) plus the two-phase-commit and
+token-ring workloads, each new application in a correlated and an
+uncorrelated fault variant.  All builders are small closures over the
+``build_*_study`` helpers of :mod:`repro.apps`, so everything shown here
+is buildable with the public API alone.
+"""
+
+from __future__ import annotations
+
+from repro.apps.election import (
+    DEFAULT_MACHINES as ELECTION_MACHINES,
+    ElectionParameters,
+    build_election_study,
+    coverage_study_measure,
+    leader_fault,
+)
+from repro.apps.replication import build_replication_study
+from repro.apps.tokenring import (
+    build_tokenring_study,
+    holder_crash_fault,
+    token_loss_fault,
+)
+from repro.apps.toggle import DRIVER, build_toggle_study
+from repro.apps.twophase import build_twophase_study, participant_voted_fault
+from repro.core.campaign import StudyConfig
+from repro.core.runtime.context import RestartPolicy
+from repro.measures import (
+    Count,
+    MeasureStep,
+    StateTuple,
+    StudyMeasure,
+    TotalDuration,
+)
+from repro.scenarios.registry import Scenario, ScenarioRegistry
+
+
+# ---------------------------------------------------------------------------
+# Study measures
+# ---------------------------------------------------------------------------
+
+def _toggle_measure() -> StudyMeasure:
+    return StudyMeasure(
+        name="driver-active-time",
+        steps=(MeasureStep(StateTuple(DRIVER, "ACTIVE"), TotalDuration("T")),),
+    )
+
+
+def _election_coverage_measure() -> StudyMeasure:
+    return coverage_study_measure("black")
+
+
+def _replication_failover_measure() -> StudyMeasure:
+    return StudyMeasure(
+        name="replica2-promoted",
+        steps=(MeasureStep(StateTuple("replica2", "PRIMARY"), Count(edge="U")),),
+    )
+
+
+def _twophase_commit_measure() -> StudyMeasure:
+    return StudyMeasure(
+        name="committed-transactions",
+        steps=(MeasureStep(StateTuple("coordinator", "COMMIT"), Count(edge="U")),),
+    )
+
+
+def _tokenring_holding_measure() -> StudyMeasure:
+    return StudyMeasure(
+        name="node3-holding-time",
+        steps=(MeasureStep(StateTuple("node3", "HOLDING"), TotalDuration("T")),),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Study builders (name/experiments/seed are the registry's standard knobs)
+# ---------------------------------------------------------------------------
+
+def _build_toggle(name: str = "toggle", experiments: int = 4, seed: int = 0) -> StudyConfig:
+    return build_toggle_study(
+        name=name,
+        dwell_time=0.020,
+        timeslice=0.010,
+        cycles=5,
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_election(
+    name: str = "leader-election", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    parameters = {
+        machine: ElectionParameters(run_duration=0.5, favored=(machine == "black"))
+        for machine in ELECTION_MACHINES
+    }
+    return build_election_study(
+        name=name,
+        faults_by_machine={"black": (leader_fault("black"),)},
+        experiments=experiments,
+        parameters_by_machine=parameters,
+        restart_policy=RestartPolicy(
+            enabled=True, delay=0.04, max_restarts=1, restart_host="next",
+            success_probability=0.7,
+        ),
+        seed=seed,
+    )
+
+
+def _build_replication(
+    name: str = "primary-backup", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_replication_study(name=name, experiments=experiments, seed=seed)
+
+
+def _build_twophase(
+    name: str = "two-phase-commit", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_twophase_study(name=name, experiments=experiments, seed=seed)
+
+
+def _build_twophase_uncorrelated(
+    name: str = "two-phase-commit-uncorrelated", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_twophase_study(
+        name=name,
+        faults_by_machine={"part1": (participant_voted_fault("part1"),)},
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_tokenring(
+    name: str = "token-ring", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_tokenring_study(name=name, experiments=experiments, seed=seed)
+
+
+def _build_tokenring_uncorrelated(
+    name: str = "token-ring-uncorrelated", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_tokenring_study(
+        name=name,
+        faults_by_machine={
+            "node1": (token_loss_fault("node1"),),
+            "node2": (holder_crash_fault("node2"),),
+        },
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The default registry
+# ---------------------------------------------------------------------------
+
+def build_default_registry() -> ScenarioRegistry:
+    """A fresh registry holding the library's built-in scenarios."""
+    return ScenarioRegistry(
+        [
+            Scenario(
+                name="toggle",
+                description="two-node ACTIVE/IDLE driver with a record-only fault "
+                "(Figures 3.2/3.3)",
+                builder=_build_toggle,
+                measure_factory=_toggle_measure,
+                tags=("paper",),
+            ),
+            Scenario(
+                name="leader-election",
+                description="leader election with a leader-crash fault and "
+                "probabilistic restart (Chapter 5 coverage)",
+                builder=_build_election,
+                measure_factory=_election_coverage_measure,
+                tags=("paper", "restart"),
+            ),
+            Scenario(
+                name="primary-backup",
+                description="primary-backup replication; crash the primary while "
+                "a backup synchronizes",
+                builder=_build_replication,
+                measure_factory=_replication_failover_measure,
+                tags=("correlated",),
+            ),
+            Scenario(
+                name="two-phase-commit",
+                description="atomic commitment; crash the coordinator inside a "
+                "participant's in-doubt window",
+                builder=_build_twophase,
+                measure_factory=_twophase_commit_measure,
+                tags=("correlated",),
+            ),
+            Scenario(
+                name="two-phase-commit-uncorrelated",
+                description="atomic commitment; crash a participant after it "
+                "votes, independent of the coordinator",
+                builder=_build_twophase_uncorrelated,
+                measure_factory=_twophase_commit_measure,
+                tags=("uncorrelated",),
+            ),
+            Scenario(
+                name="token-ring",
+                description="token-ring mutual exclusion; holder crash plus a "
+                "correlated second-holder crash",
+                builder=_build_tokenring,
+                measure_factory=_tokenring_holding_measure,
+                tags=("correlated",),
+            ),
+            Scenario(
+                name="token-ring-uncorrelated",
+                description="token-ring mutual exclusion; token loss and an "
+                "independent holder crash",
+                builder=_build_tokenring_uncorrelated,
+                measure_factory=_tokenring_holding_measure,
+                tags=("uncorrelated",),
+            ),
+        ]
+    )
+
+
+#: The registry enumerated by the examples, benchmarks, and smoke tests.
+DEFAULT_REGISTRY = build_default_registry()
+
+
+def default_registry() -> ScenarioRegistry:
+    """The process-wide default scenario registry."""
+    return DEFAULT_REGISTRY

@@ -1,0 +1,189 @@
+"""The scenario registry: every workload as a first-class, buildable entry.
+
+A *scenario* packages one parameterized workload — a
+:class:`~repro.core.campaign.StudyConfig` builder plus the study measure
+that makes its results comparable — under a stable name.  The
+:class:`ScenarioRegistry` maps names to scenarios so the execution engine,
+the experiment harnesses, the examples, and the benchmarks can enumerate
+every workload instead of hard-coding applications; it is the seam any
+future workload plugs into.
+
+Metadata (the fault specifications and measure names shown in the README
+scenario table) is derived from the built studies themselves, so it can
+never drift from what actually runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.campaign import CampaignConfig, StudyConfig
+from repro.errors import SpecificationError, UnknownScenarioError
+from repro.measures.study import StudyMeasure
+
+#: Signature of a scenario's study builder: every builder accepts the study
+#: name, the experiment count, and the master seed as keyword arguments.
+StudyBuilder = Callable[..., StudyConfig]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload.
+
+    Attributes
+    ----------
+    name:
+        The registry key (also the default study name).
+    description:
+        One line describing the application and the injected faults.
+    builder:
+        Callable building the scenario's :class:`StudyConfig`; must accept
+        ``name``, ``experiments``, and ``seed`` keyword arguments.
+    measure_factory:
+        Builds the scenario's headline :class:`StudyMeasure` (``None`` for
+        scenarios whose observable is the injection record itself).
+    tags:
+        Free-form labels (``"correlated"``, ``"paper"``, ...).
+    """
+
+    name: str
+    description: str
+    builder: StudyBuilder
+    measure_factory: Callable[[], StudyMeasure] | None = None
+    tags: tuple[str, ...] = ()
+
+    def build(
+        self,
+        experiments: int | None = None,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> StudyConfig:
+        """Build the scenario's study, overriding count/seed/name if given."""
+        kwargs: dict = {"name": name or self.name}
+        if experiments is not None:
+            kwargs["experiments"] = experiments
+        if seed is not None:
+            kwargs["seed"] = seed
+        return self.builder(**kwargs)
+
+    def fault_lines(self) -> tuple[str, ...]:
+        """The scenario's fault-specification lines, derived from a built study."""
+        specifications = self.build(experiments=1).fault_specifications()
+        lines: list[str] = []
+        for nickname in sorted(specifications):
+            lines.extend(specifications[nickname].describe())
+        return tuple(lines)
+
+    def measure_names(self) -> tuple[str, ...]:
+        """Names of the scenario's study measures (may be empty)."""
+        if self.measure_factory is None:
+            return ()
+        return (self.measure_factory().name,)
+
+
+class ScenarioRegistry:
+    """A named collection of scenarios, preserving registration order."""
+
+    def __init__(self, scenarios: tuple[Scenario, ...] | list[Scenario] = ()) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+        for scenario in scenarios:
+            self.register(scenario)
+
+    # -- registration and lookup --------------------------------------------------
+
+    def register(self, scenario: Scenario) -> Scenario:
+        """Add a scenario; duplicate names are a specification error."""
+        if scenario.name in self._scenarios:
+            raise SpecificationError(
+                f"scenario {scenario.name!r} is already registered"
+            )
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        """Look up a scenario by name.
+
+        Unknown names raise :class:`~repro.errors.UnknownScenarioError`
+        listing every registered scenario, never a bare ``KeyError``.
+        """
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise UnknownScenarioError(
+                f"unknown scenario {name!r}; known scenarios: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered scenario names, in registration order."""
+        return tuple(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._scenarios
+
+    # -- building workloads ----------------------------------------------------------
+
+    def build(
+        self,
+        name: str,
+        experiments: int | None = None,
+        seed: int | None = None,
+        study_name: str | None = None,
+    ) -> StudyConfig:
+        """Build one scenario's study by name."""
+        return self.get(name).build(experiments=experiments, seed=seed, name=study_name)
+
+    def build_campaign(
+        self,
+        names: tuple[str, ...] | list[str] | None = None,
+        experiments: int | None = None,
+        seed: int | None = None,
+        campaign_name: str = "scenarios",
+    ) -> CampaignConfig:
+        """Build a campaign containing one study per selected scenario.
+
+        ``names=None`` selects every registered scenario.  When ``seed`` is
+        given, each scenario receives ``seed + position`` so the studies
+        stay decorrelated while the whole campaign is reproducible from a
+        single number.
+        """
+        selected = tuple(names) if names is not None else self.names()
+        studies = [
+            self.build(
+                name,
+                experiments=experiments,
+                seed=None if seed is None else seed + offset,
+            )
+            for offset, name in enumerate(selected)
+        ]
+        return CampaignConfig(name=campaign_name, studies=studies)
+
+    # -- metadata -----------------------------------------------------------------------
+
+    def markdown_table(self) -> str:
+        """The README scenario table, generated from the registry's metadata.
+
+        Columns: scenario name, fault-specification lines of the built
+        study, and the scenario's study-measure names.  Pipe characters in
+        fault expressions are escaped so the table stays valid markdown.
+        """
+
+        def escape(text: str) -> str:
+            return text.replace("|", "\\|")
+
+        lines = [
+            "| scenario | faults injected | measures |",
+            "| --- | --- | --- |",
+        ]
+        for scenario in self:
+            faults = "<br>".join(escape(line) for line in scenario.fault_lines()) or "—"
+            measures = ", ".join(scenario.measure_names()) or "—"
+            lines.append(f"| `{scenario.name}` | {faults} | {measures} |")
+        return "\n".join(lines)

@@ -40,6 +40,7 @@ class Environment:
         self._processes: dict[str, SimProcess] = {}
         self._termination_listeners: list[Callable[[SimProcess, bool], None]] = []
         self._undeliverable: list[tuple[str, str]] = []
+        self._dispatch_floor: dict[tuple[str, str], float] = {}
 
     @property
     def ipc_profile(self) -> LinkProfile:
@@ -176,7 +177,14 @@ class Environment:
             self._undeliverable.append((message.source, destination))
             return
         delay = process.host.scheduling_delay()
-        self.kernel.schedule(delay, self._dispatch, destination, message)
+        # A receiving process drains one connection's messages in arrival
+        # order: its per-message scheduling delay must not let a later
+        # message from the same sender overtake an earlier one (the kernel
+        # breaks equal-time ties by insertion order, preserving FIFO).
+        pair = (message.source, destination)
+        dispatch_at = max(self.kernel.now + delay, self._dispatch_floor.get(pair, 0.0))
+        self._dispatch_floor[pair] = dispatch_at
+        self.kernel.schedule_at(dispatch_at, self._dispatch, destination, message)
 
     def _dispatch(self, destination: str, message: NetworkMessage) -> None:
         process = self._processes.get(destination)

@@ -88,6 +88,7 @@ class Network:
         self._default_profile = default_profile
         self._link_profiles: dict[tuple[str, str], LinkProfile] = {}
         self._partitions: set[frozenset[str]] = set()
+        self._arrival_floor: dict[tuple[str, str], float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -145,7 +146,15 @@ class Network:
             self.messages_dropped += 1
             return message
         delay = link.sample_delay(self._rng)
-        self._kernel.schedule(delay, self._deliver, message, deliver)
+        # TCP (and the shared-memory IPC queue) deliver in order per
+        # connection: a message must not overtake an earlier one on the
+        # same directed endpoint pair, however the jitter draws land.  The
+        # kernel breaks equal-time ties by insertion order, so clamping to
+        # the pair's arrival floor preserves FIFO exactly.
+        pair = (source, destination)
+        arrival = max(self._kernel.now + delay, self._arrival_floor.get(pair, 0.0))
+        self._arrival_floor[pair] = arrival
+        self._kernel.schedule_at(arrival, self._deliver, message, deliver)
         return message
 
     def _deliver(self, message: NetworkMessage, deliver: Callable[[NetworkMessage], None]) -> None:

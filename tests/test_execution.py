@@ -9,6 +9,7 @@ from repro.core.campaign import (
     run_campaign,
     run_single_study,
 )
+from repro.scenarios import DEFAULT_REGISTRY
 from repro.core.execution import (
     PROCESS_POOL,
     SERIAL,
@@ -197,6 +198,65 @@ class TestBackendEquivalence:
         experiment = pooled.study("alpha").experiments[0]
         assert set(experiment.result.local_timelines) == {"driver", "observer"}
         assert experiment.result.sync_messages
+
+
+# ---------------------------------------------------------------------------
+# Registry-driven smoke test: every scenario, every backend
+# ---------------------------------------------------------------------------
+
+
+def analyzed_fingerprint(analysis, scenario):
+    """Everything the analysis phase derives for one study, comparably."""
+    study = next(iter(analysis.studies.values()))
+    fingerprint = {
+        "seeds": [e.result.seed for e in study.experiments],
+        "completed": [e.result.completed for e in study.experiments],
+        "accepted": [e.accepted for e in study.experiments],
+        "verdicts": [
+            [(v.fault, v.machine, v.correct) for v in e.verification.verdicts]
+            for e in study.experiments
+        ],
+        "timeline_sizes": [len(e.global_timeline.entries) for e in study.experiments],
+    }
+    if scenario.measure_factory is not None:
+        fingerprint["measure"] = study.measure_values(scenario.measure_factory())
+    return fingerprint
+
+
+@pytest.mark.parametrize("scenario_name", DEFAULT_REGISTRY.names())
+class TestScenarioRegistrySmoke:
+    """Every registered scenario builds, runs, and analyzes on every backend."""
+
+    EXPERIMENTS = 2
+    SEED = 17
+
+    def campaign_for(self, scenario_name):
+        study = DEFAULT_REGISTRY.build(
+            scenario_name, experiments=self.EXPERIMENTS, seed=self.SEED
+        )
+        return CampaignConfig(name=f"smoke-{scenario_name}", studies=[study])
+
+    def test_scenario_runs_end_to_end_serial(self, scenario_name):
+        scenario = DEFAULT_REGISTRY.get(scenario_name)
+        analysis = run_and_analyze(self.campaign_for(scenario_name), ExecutionConfig.serial())
+        study = next(iter(analysis.studies.values()))
+        assert len(study.experiments) == self.EXPERIMENTS
+        assert all(e.global_timeline.entries for e in study.experiments)
+        assert all(e.clock_bounds for e in study.experiments)
+        if scenario.measure_factory is not None:
+            assert len(study.measure_values(scenario.measure_factory())) == len(
+                study.accepted()
+            )
+
+    @needs_pool
+    def test_scenario_serial_and_pool_results_identical(self, scenario_name):
+        scenario = DEFAULT_REGISTRY.get(scenario_name)
+        campaign = self.campaign_for(scenario_name)
+        serial = run_and_analyze(campaign, ExecutionConfig.serial())
+        pooled = run_and_analyze(campaign, ExecutionConfig.process_pool(workers=2))
+        assert analyzed_fingerprint(serial, scenario) == analyzed_fingerprint(
+            pooled, scenario
+        )
 
 
 # ---------------------------------------------------------------------------
