@@ -1,0 +1,79 @@
+"""Machine-readable benchmark trajectory: ``BENCH_analysis.json``.
+
+Every benchmark run appends its timings to a single JSON file at the repo
+root so the project accumulates a perf trajectory across PRs instead of
+anecdotes.  The schema is deliberately tiny::
+
+    { "<benchmark name>": {"mean_s": <float>, "runs": <int>, "git_sha": "<sha>"} }
+
+Entries are merged by name: re-running a benchmark overwrites its own
+entry (stamped with the current commit) and leaves the others alone.  Two
+producers write here:
+
+* the ``pytest_sessionfinish`` hook in ``conftest.py`` records every
+  pytest-benchmark fixture timing automatically, and
+* manually timed comparisons (e.g. the analysis-phase old-vs-new bench)
+  call :func:`record_benchmark` directly — for ratios,
+  :func:`record_speedup` stores the dimensionless factor under ``mean_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable
+
+#: The trajectory file, at the repository root.
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_analysis.json"
+
+
+@lru_cache(maxsize=1)
+def git_sha() -> str:
+    """The short commit hash of the working tree, or ``"unknown"`` (cached)."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_PATH.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git
+        return "unknown"
+    if output.returncode != 0:  # pragma: no cover - not a git checkout
+        return "unknown"
+    return output.stdout.strip()
+
+
+def load_trajectory(path: Path = BENCH_PATH) -> dict[str, dict]:
+    """The current contents of the trajectory file (empty if absent/corrupt)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def record_benchmarks(
+    entries: Iterable[tuple[str, float, int]], path: Path = BENCH_PATH
+) -> None:
+    """Merge ``(name, mean_s, runs)`` timings into the trajectory in one write."""
+    data = load_trajectory(path)
+    sha = git_sha()
+    for name, mean_s, runs in entries:
+        data[name] = {"mean_s": float(mean_s), "runs": int(runs), "git_sha": sha}
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def record_benchmark(
+    name: str, mean_s: float, runs: int, path: Path = BENCH_PATH
+) -> None:
+    """Merge one benchmark's timing into the trajectory file."""
+    record_benchmarks([(name, mean_s, runs)], path)
+
+
+def record_speedup(name: str, factor: float, runs: int, path: Path = BENCH_PATH) -> None:
+    """Record a dimensionless speedup factor (stored under ``mean_s``)."""
+    record_benchmark(name, factor, runs, path)

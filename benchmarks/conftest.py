@@ -3,10 +3,78 @@
 Every benchmark module regenerates one figure or evaluation of the paper
 and prints the series it produces (paper-vs-measured shape comparisons are
 recorded in EXPERIMENTS.md).  The pytest-benchmark fixture times the
-representative computation of each artifact.
+representative computation of each artifact, and the session-finish hook
+below writes every fixture timing into the machine-readable trajectory
+file ``BENCH_analysis.json`` (see ``bench_record.py``) so each PR leaves a
+comparable perf record.
 """
 
 from __future__ import annotations
+
+import os
+
+from bench_record import record_benchmarks
+
+
+def usable_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def round_trip_messages(
+    reference_clock,
+    other_clock,
+    rng,
+    *,
+    reference: str = "ref",
+    other: str = "other",
+    phases=(0.0, 1.0),
+    count: int = 50,
+    delay: float = 200e-6,
+    jitter: float = 50e-6,
+):
+    """Bidirectional getstamps round trips between two clocked hosts.
+
+    The shared generator for every bench that needs a synthetic sync-phase
+    message set: ``count`` round trips (two messages each) per mini-phase.
+    """
+    from repro.analysis.clock_sync import SyncMessageRecord
+
+    messages = []
+    for phase_start in phases:
+        for index in range(count):
+            send = phase_start + index * 0.001
+            receive = send + delay + rng.random() * jitter
+            messages.append(
+                SyncMessageRecord(
+                    reference, other,
+                    reference_clock.read(send), other_clock.read(receive),
+                )
+            )
+            send += 0.0005
+            receive = send + delay + rng.random() * jitter
+            messages.append(
+                SyncMessageRecord(
+                    other, reference,
+                    other_clock.read(send), reference_clock.read(receive),
+                )
+            )
+    return messages
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Record every pytest-benchmark timing into ``BENCH_analysis.json``."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:  # pytest-benchmark absent or disabled
+        return
+    record_benchmarks(
+        (bench.fullname, stats.mean, stats.rounds)
+        for bench in getattr(bench_session, "benchmarks", [])
+        if (stats := getattr(bench, "stats", None))
+    )
 
 
 def print_table(title: str, headers: list[str], rows: list[list[str]]) -> None:

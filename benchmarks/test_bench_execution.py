@@ -11,12 +11,11 @@ equivalence and prints the measured ratio.
 
 from __future__ import annotations
 
-import os
 import time
 
 import pytest
 
-from conftest import print_table
+from conftest import print_table, usable_cpus
 from repro.apps.toggle import build_toggle_study
 from repro.core.campaign import CampaignConfig
 from repro.core.execution import PROCESS_POOL, ExecutionConfig, available_backends
@@ -40,13 +39,6 @@ def build_campaign() -> CampaignConfig:
         for index in range(STUDIES)
     ]
     return CampaignConfig(name="execution-bench", studies=studies)
-
-
-def usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return os.cpu_count() or 1
 
 
 def seeds_of(analysis) -> dict[str, list[int]]:

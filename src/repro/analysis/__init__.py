@@ -19,6 +19,7 @@ from repro.analysis.clock_sync import (
     SyncMessageRecord,
     estimate_all_bounds,
     estimate_clock_bounds,
+    estimate_clock_bounds_lp,
     select_reference_host,
 )
 from repro.analysis.global_timeline import (
@@ -50,6 +51,7 @@ __all__ = [
     "build_global_timeline",
     "estimate_all_bounds",
     "estimate_clock_bounds",
+    "estimate_clock_bounds_lp",
     "filter_experiments",
     "select_reference_host",
     "verify_experiment",

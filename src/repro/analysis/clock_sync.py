@@ -18,19 +18,49 @@ on ``(alpha, beta)``:
 The feasible region of these half-planes is a convex polygon.  Rather than
 exact values, the algorithm reports the extreme values ``[alpha-, alpha+]``
 and ``[beta-, beta+]`` over that polygon — intervals that are *guaranteed*
-to contain the true offset and drift, unlike confidence intervals.  The
-extremes are found with four small linear programs.
+to contain the true offset and drift, unlike confidence intervals.
+
+The solver exploits the special structure of the constraint set instead of
+running linear programs.  Every constraint bounds ``alpha`` by a line in
+``beta``::
+
+    r -> i messages:   alpha <= receive - send * beta      (upper lines)
+    i -> r messages:   alpha >= send - receive * beta      (lower lines)
+
+so the feasible region is exactly ``{(alpha, beta) : L(beta) <= alpha <=
+U(beta), beta >= beta_floor}`` where ``U`` is the *minimum* of the upper
+lines (a concave piecewise-linear envelope) and ``L`` the *maximum* of the
+lower lines (a convex one).  Both envelopes are computed with the classic
+monotone-hull sweep in O(n log n) after sorting by slope; the envelopes'
+breakpoints are the polygon's vertices, the betas where ``L`` and ``U``
+cross delimit ``[beta-, beta+]``, and the alpha extremes are envelope
+values at vertices — everything the four linear programs and the O(n^3)
+pairwise vertex enumeration used to produce, in a single exact pass.
+
+The historical :mod:`scipy` path is kept as
+:func:`estimate_clock_bounds_lp` purely as a cross-check for the test
+suite; the hot path no longer imports scipy at all.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
-from scipy.optimize import linprog
 
 from repro.errors import ClockSynchronizationError
+
+#: Positivity floor on the drift ``beta``, identical to the bound the
+#: linear-programming path places on it: a clock that does not advance
+#: (``beta <= 0``) can never be synchronized.
+_BETA_FLOOR = 1e-9
+
+#: Relative tolerance for merging near-duplicate polygon vertices produced
+#: by three or more (nearly) concurrent constraint lines.
+_VERTEX_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -102,6 +132,24 @@ class ClockBounds:
             and self.beta_lower <= beta <= self.beta_upper
         )
 
+    @cached_property
+    def projection_corners(self) -> np.ndarray:
+        """The ``(alpha, beta)`` corner array used for time projection.
+
+        The polygon vertices when available, the four rectangle corners
+        (the paper's Equation 2.2) otherwise.  Cached so that projecting a
+        whole timeline touches the array-building cost once per host.
+        """
+        if self.vertices:
+            corners: Sequence[tuple[float, float]] = self.vertices
+        else:
+            corners = tuple(
+                (alpha, beta)
+                for alpha in (self.alpha_lower, self.alpha_upper)
+                for beta in (self.beta_lower, self.beta_upper)
+            )
+        return np.asarray(corners, dtype=float)
+
     def project_to_reference(self, local_time: float) -> tuple[float, float]:
         """Project a local-clock reading onto the reference clock.
 
@@ -112,16 +160,9 @@ class ClockBounds:
         vertices are available they are used, otherwise the four corners of
         the bounding rectangle (the paper's Equation 2.2) are evaluated.
         """
-        if self.vertices:
-            corners = self.vertices
-        else:
-            corners = tuple(
-                (alpha, beta)
-                for alpha in (self.alpha_lower, self.alpha_upper)
-                for beta in (self.beta_lower, self.beta_upper)
-            )
-        candidates = [(local_time - alpha) / beta for alpha, beta in corners]
-        return min(candidates), max(candidates)
+        corners = self.projection_corners
+        candidates = (local_time - corners[:, 0]) / corners[:, 1]
+        return float(candidates.min()), float(candidates.max())
 
 
 def select_reference_host(clock_rates: Mapping[str, float]) -> str:
@@ -133,6 +174,308 @@ def select_reference_host(clock_rates: Mapping[str, float]) -> str:
     if not clock_rates:
         raise ClockSynchronizationError("no hosts to choose a reference from")
     return max(sorted(clock_rates), key=lambda host: clock_rates[host])
+
+
+# ---------------------------------------------------------------------------
+# Exact geometric solver
+# ---------------------------------------------------------------------------
+#
+# A "line" is an (slope, intercept) pair describing ``alpha = slope * beta
+# + intercept``.  Upper lines bound alpha from above, lower lines from
+# below.
+
+
+def _upper_line(send_time: float, receive_time: float) -> tuple[float, float]:
+    """Constraint line of a reference -> machine message.
+
+    ``alpha + beta * send <= receive``, i.e. ``alpha <= receive - send * beta``.
+    """
+    return (-send_time, receive_time)
+
+
+def _lower_line(send_time: float, receive_time: float) -> tuple[float, float]:
+    """Constraint line of a machine -> reference message.
+
+    ``alpha + beta * receive >= send``, i.e. ``alpha >= send - receive * beta``.
+    """
+    return (-receive_time, send_time)
+
+
+def _lines_for_message(
+    message: SyncMessageRecord, machine: str, reference: str
+) -> tuple[str, tuple[float, float]] | None:
+    """Classify one message into an upper or lower constraint line."""
+    if message.sender == reference and message.receiver == machine:
+        return "upper", _upper_line(message.send_time, message.receive_time)
+    if message.sender == machine and message.receiver == reference:
+        return "lower", _lower_line(message.send_time, message.receive_time)
+    return None
+
+
+def _collect_lines(
+    messages: Sequence[SyncMessageRecord], machine: str, reference: str
+) -> tuple[list[tuple[float, float]], list[tuple[float, float]]]:
+    uppers: list[tuple[float, float]] = []
+    lowers: list[tuple[float, float]] = []
+    for message in messages:
+        classified = _lines_for_message(message, machine, reference)
+        if classified is None:
+            continue
+        side, line = classified
+        (uppers if side == "upper" else lowers).append(line)
+    if not uppers and not lowers:
+        raise ClockSynchronizationError(
+            f"no synchronization messages between {machine!r} and reference {reference!r}"
+        )
+    return uppers, lowers
+
+
+def _min_envelope(
+    lines: Sequence[tuple[float, float]],
+) -> tuple[list[tuple[float, float]], list[float]]:
+    """The lower (minimum) envelope of a family of lines.
+
+    Returns the active lines in order of increasing ``beta`` together with
+    the breakpoints where activity changes hands.  The minimum of lines is
+    concave, so the active slope strictly decreases along ``beta``; the
+    standard monotone-hull sweep over the slope-sorted lines is O(n log n).
+    """
+    ordered = sorted(set(lines), key=lambda line: (-line[0], line[1]))
+    filtered: list[tuple[float, float]] = []
+    for slope, intercept in ordered:
+        if filtered and filtered[-1][0] == slope:
+            continue  # same slope, larger intercept: never minimal
+        filtered.append((slope, intercept))
+    hull: list[tuple[float, float]] = []
+    cuts: list[float] = []
+    for line in filtered:
+        while True:
+            if not hull:
+                hull.append(line)
+                break
+            top = hull[-1]
+            crossing = (line[1] - top[1]) / (top[0] - line[0])
+            if cuts and crossing <= cuts[-1]:
+                hull.pop()
+                cuts.pop()
+                continue
+            hull.append(line)
+            cuts.append(crossing)
+            break
+    return hull, cuts
+
+
+def _max_envelope(
+    lines: Sequence[tuple[float, float]],
+) -> tuple[list[tuple[float, float]], list[float]]:
+    """The upper (maximum) envelope of a family of lines (via negation)."""
+    hull, cuts = _min_envelope([(-slope, -intercept) for slope, intercept in lines])
+    return [(-slope, -intercept) for slope, intercept in hull], cuts
+
+
+def _envelope_value(
+    hull: Sequence[tuple[float, float]], cuts: Sequence[float], beta: float
+) -> float:
+    """Evaluate an envelope at ``beta`` in O(log n) via its active line.
+
+    ``cuts[k]`` is where ``hull[k + 1]`` takes over from ``hull[k]``, so the
+    active line's index is the count of cuts at or before ``beta``.
+    """
+    slope, intercept = hull[bisect_right(cuts, beta)]
+    return slope * beta + intercept
+
+
+def _dedupe_vertices(
+    points: Iterable[tuple[float, float]],
+    tolerance: float = _VERTEX_TOLERANCE,
+) -> tuple[tuple[float, float], ...]:
+    """Merge near-duplicate polygon corners, canonically ordered.
+
+    Three or more nearly concurrent constraint lines intersect in a cloud
+    of points that differ only by floating-point noise; keeping them all
+    bloats ``ClockBounds.vertices`` and the per-event candidate evaluation
+    in ``project_to_reference``.  Points whose coordinates agree within a
+    relative tolerance are collapsed onto the first representative.
+    """
+    ordered = sorted(points, key=lambda point: (point[1], point[0]))
+    kept: list[tuple[float, float]] = []
+    for alpha, beta in ordered:
+        duplicate = False
+        for kept_alpha, kept_beta in kept:
+            alpha_scale = max(1.0, abs(alpha), abs(kept_alpha))
+            beta_scale = max(1.0, abs(beta), abs(kept_beta))
+            if (
+                abs(alpha - kept_alpha) <= tolerance * alpha_scale
+                and abs(beta - kept_beta) <= tolerance * beta_scale
+            ):
+                duplicate = True
+                break
+        if not duplicate:
+            kept.append((alpha, beta))
+    return tuple(kept)
+
+
+def _solve_lines(
+    uppers: Sequence[tuple[float, float]],
+    lowers: Sequence[tuple[float, float]],
+    machine: str,
+) -> ClockBounds:
+    """Exact bounds and polygon vertices from upper/lower constraint lines."""
+    if not uppers or not lowers:
+        raise ClockSynchronizationError(
+            f"clock bounds for {machine!r} are unbounded; synchronization messages must "
+            "flow in both directions before and after the experiment"
+        )
+
+    upper_hull, upper_cuts = _min_envelope(uppers)
+    lower_hull, lower_cuts = _max_envelope(lowers)
+
+    def upper_at(beta: float) -> float:
+        return _envelope_value(upper_hull, upper_cuts, beta)
+
+    def lower_at(beta: float) -> float:
+        return _envelope_value(lower_hull, lower_cuts, beta)
+
+    # Candidate betas: the positivity floor plus every envelope breakpoint
+    # past it.  The gap function D = U - L is linear between consecutive
+    # candidates and concave overall, so its sign pattern along beta is
+    # (neg)* (non-neg)* (neg)* and evaluating at the candidates finds the
+    # feasible interval exactly.
+    candidates = sorted(
+        {_BETA_FLOOR}
+        | {cut for cut in upper_cuts if cut > _BETA_FLOOR}
+        | {cut for cut in lower_cuts if cut > _BETA_FLOOR}
+    )
+    gaps = [upper_at(beta) - lower_at(beta) for beta in candidates]
+    # Beyond the last candidate both envelopes follow their final line, so
+    # the gap's tail slope decides boundedness at beta -> infinity.
+    tail_slope = upper_hull[-1][0] - lower_hull[-1][0]
+
+    unbounded = ClockSynchronizationError(
+        f"clock bounds for {machine!r} are unbounded; synchronization messages must "
+        "flow in both directions before and after the experiment"
+    )
+    feasible = [index for index, gap in enumerate(gaps) if gap >= 0.0]
+    if not feasible:
+        if tail_slope > 0.0:
+            raise unbounded
+        raise ClockSynchronizationError(
+            f"clock-bound estimation for {machine!r} failed: "
+            "the synchronization constraints are mutually inconsistent (infeasible)"
+        )
+
+    first, last = feasible[0], feasible[-1]
+    if first == 0:
+        beta_lower = candidates[0]
+    else:
+        # Crossing from infeasible to feasible inside a linear segment.
+        left, right = candidates[first - 1], candidates[first]
+        gap_left, gap_right = gaps[first - 1], gaps[first]
+        beta_lower = left + (right - left) * (-gap_left) / (gap_right - gap_left)
+    if last == len(candidates) - 1:
+        if tail_slope >= 0.0:
+            raise unbounded
+        beta_upper = candidates[last] + gaps[last] / (-tail_slope)
+    else:
+        left, right = candidates[last], candidates[last + 1]
+        gap_left, gap_right = gaps[last], gaps[last + 1]
+        beta_upper = left + (right - left) * gap_left / (gap_left - gap_right)
+
+    # Alpha extremes: over the feasible beta interval the largest alpha is
+    # the maximum of the concave envelope U (attained at an envelope
+    # breakpoint or an interval endpoint) and the smallest is the minimum
+    # of the convex envelope L.
+    upper_values = [upper_at(beta_lower), upper_at(beta_upper)]
+    upper_values += [upper_at(cut) for cut in upper_cuts if beta_lower < cut < beta_upper]
+    lower_values = [lower_at(beta_lower), lower_at(beta_upper)]
+    lower_values += [lower_at(cut) for cut in lower_cuts if beta_lower < cut < beta_upper]
+    alpha_upper = max(upper_values)
+    alpha_lower = min(lower_values)
+
+    if alpha_upper < alpha_lower or beta_upper < beta_lower:
+        raise ClockSynchronizationError(
+            f"inconsistent clock bounds for {machine!r}: "
+            f"alpha [{alpha_lower}, {alpha_upper}], beta [{beta_lower}, {beta_upper}]"
+        )
+
+    # Polygon vertices: the boundary points at the interval ends (where the
+    # envelopes cross — or, when the positivity floor clips the polygon,
+    # both envelope values) plus every envelope breakpoint strictly inside.
+    corners: list[tuple[float, float]] = [
+        (upper_at(beta_lower), beta_lower),
+        (lower_at(beta_lower), beta_lower),
+        (upper_at(beta_upper), beta_upper),
+        (lower_at(beta_upper), beta_upper),
+    ]
+    corners += [(upper_at(cut), cut) for cut in upper_cuts if beta_lower < cut < beta_upper]
+    corners += [(lower_at(cut), cut) for cut in lower_cuts if beta_lower < cut < beta_upper]
+
+    return ClockBounds(
+        alpha_lower=alpha_lower,
+        alpha_upper=alpha_upper,
+        beta_lower=beta_lower,
+        beta_upper=beta_upper,
+        vertices=_dedupe_vertices(corners),
+    )
+
+
+def estimate_clock_bounds(
+    messages: Iterable[SyncMessageRecord], machine: str, reference: str
+) -> ClockBounds:
+    """Estimate offset/drift bounds for ``machine`` relative to ``reference``."""
+    if machine == reference:
+        return ClockBounds.identity()
+    uppers, lowers = _collect_lines(list(messages), machine, reference)
+    return _solve_lines(uppers, lowers, machine)
+
+
+def estimate_all_bounds(
+    messages: Iterable[SyncMessageRecord],
+    machines: Iterable[str],
+    reference: str,
+) -> dict[str, ClockBounds]:
+    """Estimate bounds for every machine in ``machines`` (reference included).
+
+    The message list is bucketed by machine in a single pass, so a campaign
+    experiment with ``m`` machines scans its synchronization messages once
+    instead of ``m`` times.
+    """
+    machine_list = list(machines)
+    buckets: dict[str, tuple[list[tuple[float, float]], list[tuple[float, float]]]] = {
+        machine: ([], []) for machine in machine_list if machine != reference
+    }
+    for message in messages:
+        if message.sender == reference:
+            bucket = buckets.get(message.receiver)
+            if bucket is not None:
+                bucket[0].append(_upper_line(message.send_time, message.receive_time))
+        elif message.receiver == reference:
+            bucket = buckets.get(message.sender)
+            if bucket is not None:
+                bucket[1].append(_lower_line(message.send_time, message.receive_time))
+    bounds: dict[str, ClockBounds] = {}
+    for machine in machine_list:
+        if machine == reference:
+            bounds[machine] = ClockBounds.identity()
+            continue
+        uppers, lowers = buckets[machine]
+        if not uppers and not lowers:
+            raise ClockSynchronizationError(
+                f"no synchronization messages between {machine!r} and reference {reference!r}"
+            )
+        bounds[machine] = _solve_lines(uppers, lowers, machine)
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# Linear-programming cross-check (test-only path)
+# ---------------------------------------------------------------------------
+#
+# The original implementation solved four linear programs per machine and
+# enumerated polygon vertices from all constraint pairs.  It is retained so
+# the test suite can cross-check the geometric solver against an
+# independent method; scipy is imported lazily so the hot path above never
+# needs it.
 
 
 def _constraints_for(
@@ -162,12 +505,21 @@ def _optimize(
     b_ub: np.ndarray,
     machine: str,
 ) -> float:
+    from scipy.optimize import linprog
+
     result = linprog(
         c=list(objective),
         A_ub=a_ub,
         b_ub=b_ub,
-        bounds=[(None, None), (1e-9, None)],
+        bounds=[(None, None), (_BETA_FLOOR, None)],
         method="highs",
+        # Tighten HiGHS to its floor (1e-10; the ~1e-7 defaults lose ~1e-8
+        # of optimum on near-parallel constraints): this path exists to
+        # cross-check the exact geometric solver at 1e-9 precision.
+        options={
+            "primal_feasibility_tolerance": 1e-10,
+            "dual_feasibility_tolerance": 1e-10,
+        },
     )
     if result.status == 3:
         raise ClockSynchronizationError(
@@ -182,13 +534,20 @@ def _optimize(
 
 
 def _feasible_vertices(a_ub: np.ndarray, b_ub: np.ndarray) -> tuple[tuple[float, float], ...]:
-    """Vertices of the convex polygon ``{x : A x <= b}`` in the (alpha, beta) plane.
+    """Vertices of the feasible polygon in the (alpha, beta) plane.
 
-    Every pair of constraint boundary lines is intersected and the points
-    satisfying all constraints (within a small relative tolerance) are kept.
-    The polygon is known to be bounded because the caller has already run
-    the four bounding linear programs successfully.
+    The polygon is ``{x : A x <= b}`` intersected with the drift
+    positivity floor ``beta >= _BETA_FLOOR`` (the same bound the linear
+    programs place on beta, appended here as an extra constraint row so
+    floor-clipped polygons get their floor corners too).  Every pair of
+    constraint boundary lines is intersected and the points satisfying
+    all constraints (within a small relative tolerance) are kept;
+    near-duplicate corners produced by three or more nearly concurrent
+    lines are merged.  The polygon is known to be bounded because the
+    caller has already run the four bounding linear programs successfully.
     """
+    a_ub = np.vstack([a_ub, [0.0, -1.0]])
+    b_ub = np.append(b_ub, -_BETA_FLOOR)
     count = a_ub.shape[0]
     vertices: list[tuple[float, float]] = []
     tolerance = 1e-9
@@ -201,15 +560,25 @@ def _feasible_vertices(a_ub: np.ndarray, b_ub: np.ndarray) -> tuple[tuple[float,
             if abs(determinant) < 1e-15:
                 continue
             point = np.linalg.solve(matrix, rhs)
-            if np.all(a_ub @ point <= b_ub + tolerance * scale) and point[1] > 0:
+            if (
+                np.all(a_ub @ point <= b_ub + tolerance * scale)
+                and point[1] >= _BETA_FLOOR * (1.0 - 1e-6)
+            ):
                 vertices.append((float(point[0]), float(point[1])))
-    return tuple(vertices)
+    return _dedupe_vertices(vertices)
 
 
-def estimate_clock_bounds(
+def estimate_clock_bounds_lp(
     messages: Iterable[SyncMessageRecord], machine: str, reference: str
 ) -> ClockBounds:
-    """Estimate offset/drift bounds for ``machine`` relative to ``reference``."""
+    """The historical scipy linear-programming estimator (cross-check only).
+
+    Produces the same :class:`ClockBounds` as :func:`estimate_clock_bounds`
+    (extremes agree to LP solver precision, vertex sets are identical after
+    dedup) by solving four linear programs and enumerating all constraint
+    pairs.  Kept exclusively so tests and benchmarks can compare the exact
+    geometric solver against an independent implementation.
+    """
     if machine == reference:
         return ClockBounds.identity()
     message_list = list(messages)
@@ -230,16 +599,3 @@ def estimate_clock_bounds(
         beta_upper=beta_upper,
         vertices=_feasible_vertices(a_ub, b_ub),
     )
-
-
-def estimate_all_bounds(
-    messages: Iterable[SyncMessageRecord],
-    machines: Iterable[str],
-    reference: str,
-) -> dict[str, ClockBounds]:
-    """Estimate bounds for every machine in ``machines`` (reference included)."""
-    message_list = list(messages)
-    bounds: dict[str, ClockBounds] = {}
-    for machine in machines:
-        bounds[machine] = estimate_clock_bounds(message_list, machine, reference)
-    return bounds

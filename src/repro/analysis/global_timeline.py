@@ -15,6 +15,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.analysis.clock_sync import ClockBounds
 from repro.core.specs.state_machine import INITIAL_STATE
 from repro.core.timeline import LocalTimeline, RecordKind
@@ -210,14 +212,31 @@ def build_global_timeline(
         timelines = list(local_timelines)
     entries: list[GlobalTimelineEntry] = []
     for timeline in timelines:
-        for record in timeline.records:
-            bounds = bounds_by_host.get(record.host)
+        records = timeline.records
+        if not records:
+            continue
+        # Group record positions by host (a node that restarts mid-
+        # experiment changes host), then project each host's record times
+        # through the polygon corners with one numpy broadcast instead of
+        # a per-record Python loop over the corners.
+        positions_by_host: dict[str, list[int]] = {}
+        for position, record in enumerate(records):
+            positions_by_host.setdefault(record.host, []).append(position)
+        lowers = np.empty(len(records))
+        uppers = np.empty(len(records))
+        for host, positions in positions_by_host.items():
+            bounds = bounds_by_host.get(host)
             if bounds is None:
                 raise AnalysisError(
-                    f"no clock bounds for host {record.host!r} "
+                    f"no clock bounds for host {host!r} "
                     f"(machine {timeline.machine!r})"
                 )
-            lower, upper = bounds.project_to_reference(record.time)
+            corners = bounds.projection_corners
+            times = np.array([records[position].time for position in positions])
+            candidates = (times[:, None] - corners[None, :, 0]) / corners[None, :, 1]
+            lowers[positions] = candidates.min(axis=1)
+            uppers[positions] = candidates.max(axis=1)
+        for position, record in enumerate(records):
             if record.kind is RecordKind.STATE_CHANGE:
                 kind = GlobalEventKind.STATE_CHANGE
             else:
@@ -226,8 +245,8 @@ def build_global_timeline(
                 GlobalTimelineEntry(
                     machine=timeline.machine,
                     kind=kind,
-                    lower=lower,
-                    upper=upper,
+                    lower=float(lowers[position]),
+                    upper=float(uppers[position]),
                     host=record.host,
                     local_time=record.time,
                     event=record.event,

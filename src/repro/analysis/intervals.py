@@ -57,7 +57,14 @@ class Interval:
 
 
 class IntervalSet:
-    """An immutable, normalized union of disjoint closed intervals."""
+    """An immutable, normalized union of disjoint closed intervals.
+
+    The representation invariant — intervals sorted by start, pairwise
+    disjoint and non-touching — is established once at construction, which
+    lets :meth:`union`, :meth:`intersection`, and :meth:`complement` run as
+    linear merges over the sorted operands instead of re-sorting or
+    comparing all interval pairs.
+    """
 
     __slots__ = ("_intervals",)
 
@@ -67,6 +74,11 @@ class IntervalSet:
     @staticmethod
     def _normalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
         items = sorted(intervals, key=lambda interval: (interval.start, interval.end))
+        return IntervalSet._coalesce(items)
+
+    @staticmethod
+    def _coalesce(items: list[Interval]) -> tuple[Interval, ...]:
+        """Merge overlapping/touching intervals of an already-sorted list."""
         merged: list[Interval] = []
         for interval in items:
             if merged and interval.start <= merged[-1].end:
@@ -75,6 +87,13 @@ class IntervalSet:
             else:
                 merged.append(interval)
         return tuple(merged)
+
+    @classmethod
+    def _from_disjoint(cls, intervals: tuple[Interval, ...]) -> "IntervalSet":
+        """Wrap intervals already satisfying the representation invariant."""
+        result = object.__new__(cls)
+        result._intervals = intervals
+        return result
 
     # -- constructors ----------------------------------------------------------
 
@@ -141,18 +160,46 @@ class IntervalSet:
     # -- algebra -----------------------------------------------------------------------
 
     def union(self, other: "IntervalSet") -> "IntervalSet":
-        """Set union."""
-        return IntervalSet(self._intervals + other._intervals)
+        """Set union: a linear merge of the two sorted interval runs."""
+        if not self._intervals:
+            return other
+        if not other._intervals:
+            return self
+        left, right = self._intervals, other._intervals
+        merged: list[Interval] = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if (left[i].start, left[i].end) <= (right[j].start, right[j].end):
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return IntervalSet._from_disjoint(self._coalesce(merged))
 
     def intersection(self, other: "IntervalSet") -> "IntervalSet":
-        """Set intersection."""
+        """Set intersection: a two-pointer sweep over the sorted operands."""
+        left, right = self._intervals, other._intervals
         result: list[Interval] = []
-        for left in self._intervals:
-            for right in other._intervals:
-                overlap = left.intersect(right)
-                if overlap is not None:
-                    result.append(overlap)
-        return IntervalSet(result)
+        i = j = 0
+        while i < len(left) and j < len(right):
+            start = max(left[i].start, right[j].start)
+            end = min(left[i].end, right[j].end)
+            if start <= end:
+                result.append(Interval(start, end))
+            # Advance whichever interval ends first; ties advance both.
+            if left[i].end < right[j].end:
+                i += 1
+            elif right[j].end < left[i].end:
+                j += 1
+            else:
+                i += 1
+                j += 1
+        # Pieces inherit the operands' ordering and disjointness, so no
+        # normalization pass is needed.
+        return IntervalSet._from_disjoint(tuple(result))
 
     def complement(self, lower: float, upper: float) -> "IntervalSet":
         """The complement of the set within the window ``[lower, upper]``."""
@@ -170,7 +217,9 @@ class IntervalSet:
             cursor = max(cursor, interval.end)
         if cursor < upper:
             gaps.append(Interval(cursor, upper))
-        return IntervalSet(gaps)
+        # Gaps around a point interval of the set touch at that point;
+        # coalesce keeps the representation invariant.
+        return IntervalSet._from_disjoint(self._coalesce(gaps))
 
     def difference(self, other: "IntervalSet") -> "IntervalSet":
         """Set difference ``self - other`` (within the extent of ``self``)."""

@@ -87,6 +87,10 @@ class ExecutionConfig:
     chunk_size:
         How many experiments each pool task carries.  Larger chunks
         amortize IPC overhead for campaigns of many fast experiments.
+        ``None`` (the default) picks ``max(1, tasks // (4 * workers))``
+        automatically — about four waves of chunks per worker, so large
+        campaigns stop paying per-task IPC overhead while load stays
+        balanced; explicit values are honored unchanged.
     keep_raw_results:
         Fused run-and-analyze execution normally strips the raw
         ``local_timelines`` / ``sync_messages`` payloads from each analyzed
@@ -100,7 +104,7 @@ class ExecutionConfig:
 
     backend: str = SERIAL
     workers: int | None = None
-    chunk_size: int = 1
+    chunk_size: int | None = None
     keep_raw_results: bool = False
     progress: ProgressCallback | None = field(default=None, compare=False)
 
@@ -114,7 +118,7 @@ class ExecutionConfig:
             raise RuntimeConfigurationError(
                 f"execution needs at least one worker (got {self.workers})"
             )
-        if self.chunk_size < 1:
+        if self.chunk_size is not None and self.chunk_size < 1:
             raise RuntimeConfigurationError(
                 f"execution chunk size must be positive (got {self.chunk_size})"
             )
@@ -134,6 +138,17 @@ class ExecutionConfig:
         if self.workers is not None:
             return self.workers
         return os.cpu_count() or 1
+
+    def resolved_chunk_size(self, task_count: int, workers: int) -> int:
+        """The concrete pool chunk size for a campaign of ``task_count`` tasks.
+
+        An explicit ``chunk_size`` is honored as-is; the ``None`` default
+        aims for roughly four chunks per worker so per-task IPC overhead
+        is amortized without starving the pool of work to balance.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, task_count // (4 * max(workers, 1)))
 
 
 # ---------------------------------------------------------------------------
@@ -350,7 +365,9 @@ class ProcessPoolExecutor(ExperimentExecutor):
         try:
             with context.Pool(processes=workers) as pool:
                 completions = pool.imap_unordered(
-                    task, tasks, chunksize=self.config.chunk_size
+                    task,
+                    tasks,
+                    chunksize=self.config.resolved_chunk_size(len(tasks), workers),
                 )
                 return self._collect(campaign, completions)
         finally:

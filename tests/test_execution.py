@@ -120,6 +120,24 @@ class TestExecutionConfig:
     def test_serial_backend_is_always_available(self):
         assert SERIAL in available_backends()
 
+    def test_default_chunk_size_uses_heuristic(self):
+        config = ExecutionConfig()
+        assert config.chunk_size is None
+        # max(1, tasks // (4 * workers)): four waves of chunks per worker.
+        assert config.resolved_chunk_size(1000, 4) == 62
+        assert config.resolved_chunk_size(200, 4) == 12
+        assert config.resolved_chunk_size(16, 4) == 1
+
+    def test_small_campaigns_keep_chunk_size_one(self):
+        config = ExecutionConfig()
+        assert config.resolved_chunk_size(1, 8) == 1
+        assert config.resolved_chunk_size(0, 8) == 1
+
+    def test_explicit_chunk_size_honored(self):
+        config = ExecutionConfig(chunk_size=7)
+        assert config.resolved_chunk_size(1000, 4) == 7
+        assert config.resolved_chunk_size(2, 4) == 7
+
 
 # ---------------------------------------------------------------------------
 # Serial / process-pool equivalence

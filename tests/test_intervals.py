@@ -148,3 +148,33 @@ def test_union_length_bounds(a, b):
     union_length = sa.union(sb).total_length()
     assert union_length <= sa.total_length() + sb.total_length() + 1e-9
     assert union_length >= max(sa.total_length(), sb.total_length()) - 1e-9
+
+
+@given(a=_pairs, b=_pairs)
+def test_linear_merges_match_quadratic_reference(a, b):
+    """The linear-merge union/intersection equal the all-pairs reference."""
+    sa, sb = IntervalSet.from_pairs(a), IntervalSet.from_pairs(b)
+    assert sa.union(sb) == IntervalSet(sa.intervals + sb.intervals)
+    reference = [
+        overlap
+        for left in sa.intervals
+        for right in sb.intervals
+        if (overlap := left.intersect(right)) is not None
+    ]
+    assert sa.intersection(sb) == IntervalSet(reference)
+
+
+@given(a=_pairs, b=_pairs)
+def test_operation_results_stay_normalized(a, b):
+    """Union/intersection/complement outputs keep the sorted-disjoint invariant."""
+    sa, sb = IntervalSet.from_pairs(a), IntervalSet.from_pairs(b)
+    for result in (sa.union(sb), sa.intersection(sb), sa.complement(0.0, 100.0)):
+        intervals = result.intervals
+        for left, right in zip(intervals, intervals[1:]):
+            assert left.end < right.start
+
+
+def test_complement_around_point_interval_merges_gaps():
+    """The gaps flanking a point interval coalesce into one interval."""
+    points = IntervalSet.from_pairs([(5, 5)])
+    assert points.complement(0, 10).pairs() == ((0, 10),)
