@@ -65,13 +65,26 @@ def round_trip_messages(
     return messages
 
 
+def _trajectory_name(bench) -> str:
+    """The name a benchmark's trajectory entry is recorded under.
+
+    Defaults to the pytest fullname.  A benchmark can claim a stable,
+    distinct name by setting ``benchmark.extra_info["trajectory_name"]`` —
+    used e.g. by the store-backed analysis bench so its entry never
+    collides with (or overwrites) the in-memory analysis-phase entries and
+    the trajectory stays comparable entry-by-entry across PRs.
+    """
+    extra = getattr(bench, "extra_info", None) or {}
+    return extra.get("trajectory_name", bench.fullname)
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Record every pytest-benchmark timing into ``BENCH_analysis.json``."""
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None:  # pytest-benchmark absent or disabled
         return
     record_benchmarks(
-        (bench.fullname, stats.mean, stats.rounds)
+        (_trajectory_name(bench), stats.mean, stats.rounds)
         for bench in getattr(bench_session, "benchmarks", [])
         if (stats := getattr(bench, "stats", None))
     )

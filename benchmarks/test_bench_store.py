@@ -1,0 +1,74 @@
+"""CAMPAIGN STORE: persistence overhead and store-backed re-analysis.
+
+Two questions, answered on the same small toggle campaign:
+
+1. What does attaching a ``CampaignStore`` cost the live pipeline?
+   (``store_backed_campaign`` vs the plain fused run — the delta is the
+   record encoding plus the append I/O.)
+2. How fast is the run-once/analyze-many path — the analysis phase re-run
+   purely from archived records, zero simulator invocations?
+   (``analysis_phase_store_backed``: recorded under its own distinct
+   trajectory name via ``extra_info`` so it never collides with the
+   in-memory ``analysis_phase_*`` entries in ``BENCH_analysis.json``.)
+
+Correctness is asserted before timings are recorded: the store-loaded
+analysis must be bit-identical to the live one.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.apps.toggle import build_toggle_study
+from repro.core.campaign import CampaignConfig
+from repro.pipeline import run_and_analyze
+from repro.store import CampaignStore
+
+EXPERIMENTS = 6
+
+
+def build_campaign() -> CampaignConfig:
+    study = build_toggle_study(
+        "bench-store", dwell_time=0.02, timeslice=0.002, cycles=3,
+        experiments=EXPERIMENTS, seed=42,
+    )
+    return CampaignConfig(name="bench-store-campaign", studies=[study])
+
+
+def analysis_fingerprint(analysis) -> dict:
+    study = analysis.study("bench-store")
+    return {
+        "seeds": [e.result.seed for e in study.experiments],
+        "accepted": [e.accepted for e in study.experiments],
+        "timeline_sizes": [len(e.global_timeline.entries) for e in study.experiments],
+    }
+
+
+def test_bench_store_backed_campaign(benchmark, tmp_path_factory):
+    """Fused run with persistence: simulate + analyze + stream to disk."""
+    campaign = build_campaign()
+
+    def run_with_store():
+        directory = Path(tempfile.mkdtemp(dir=tmp_path_factory.getbasetemp()))
+        try:
+            return run_and_analyze(campaign, store=CampaignStore(directory / "c"))
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    analysis = benchmark(run_with_store)
+    assert len(analysis.study("bench-store").experiments) == EXPERIMENTS
+
+
+def test_bench_store_reanalysis(benchmark, tmp_path):
+    """The analyze-many path: analysis phase from archived records only."""
+    campaign = build_campaign()
+    store = CampaignStore(tmp_path / "c")
+    live = run_and_analyze(campaign, store=store)
+
+    loaded = store.load_analysis(campaign)
+    assert analysis_fingerprint(loaded) == analysis_fingerprint(live)
+
+    benchmark.extra_info["trajectory_name"] = "analysis_phase_store_backed"
+    benchmark(store.load_analysis, campaign)

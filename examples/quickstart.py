@@ -13,16 +13,20 @@ This script runs the smallest useful Loki evaluation end to end:
 4. the scenario's own study measure summarizes the accepted experiments.
 
 Use ``--scenario`` to run any other registered workload (see
-``examples/scenario_tour.py`` for the full list).
+``examples/scenario_tour.py`` for the full list).  With ``--store DIR``
+the campaign is recorded into a persistent campaign store: run the same
+command twice and the second invocation resumes from the records instead
+of re-simulating (see the README's "Persistence & resume" section).
 """
 
 import argparse
 
-from repro.core.campaign import run_single_study
+from repro.core.campaign import CampaignConfig, run_single_study
 from repro.core.execution import ExecutionConfig, available_backends
 from repro.measures import summarize_sample
-from repro.pipeline import analyze_study, correct_injection_fraction
+from repro.pipeline import analyze_study, correct_injection_fraction, run_and_analyze
 from repro.scenarios import default_registry
+from repro.store import CampaignStore
 
 
 def main() -> None:
@@ -42,6 +46,8 @@ def main() -> None:
                         help="campaign execution backend (results are identical)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for the process-pool backend")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="record into (and resume from) a campaign store directory")
     options = parser.parse_args()
     execution = ExecutionConfig(backend=options.backend, workers=options.workers)
 
@@ -51,8 +57,26 @@ def main() -> None:
           f"design {study.design.describe()}, backend {execution.backend}")
     for line in scenario.fault_lines():
         print(f"  fault: {line}")
-    result = run_single_study(study, execution)
-    analysis = analyze_study(result)
+    if options.store is not None:
+        store = CampaignStore(options.store)
+        campaign = CampaignConfig(name=f"quickstart-{scenario.name}", studies=[study])
+        if store.exists():
+            print(f"Resuming from {store.path}: recorded experiments will be reused")
+        # Count what actually runs (vs is reused) via the progress stream.
+        simulated = 0
+
+        def progress(name: str, done: int, total: int) -> None:
+            nonlocal simulated
+            simulated += 1
+
+        execution = ExecutionConfig(
+            backend=options.backend, workers=options.workers, progress=progress
+        )
+        analysis = run_and_analyze(campaign, execution, store=store).study(study.name)
+        print(f"Campaign records stored under {store.path} "
+              f"({simulated} simulated, {study.experiments - simulated} reused)")
+    else:
+        analysis = analyze_study(run_single_study(study, execution))
 
     accepted = analysis.accepted()
     print(f"Experiments accepted by the analysis phase: {len(accepted)}/{len(analysis.experiments)}")

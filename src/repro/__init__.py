@@ -11,12 +11,18 @@ The library is organized around the paper's three phases:
   measure language and the simple-sampling / stratified campaign
   estimators.
 
-:mod:`repro.pipeline` ties the phases together; :mod:`repro.apps` contains
-the instrumented example applications (leader election, the Figure 3.2/3.3
-toggle workload, primary-backup replication, two-phase commit, and
-token-ring mutual exclusion); and :mod:`repro.scenarios` registers every
-application as a named, parameterized scenario that the execution engine,
-examples, and benchmarks enumerate.
+:mod:`repro.pipeline` ties the phases together; :mod:`repro.store`
+persists campaigns on disk (append-only experiment records plus a
+fingerprinted manifest) so runs are resumable and re-analyzable without
+re-simulation; :mod:`repro.apps` contains the instrumented example
+applications (leader election, the Figure 3.2/3.3 toggle workload,
+primary-backup replication, two-phase commit, and token-ring mutual
+exclusion); and :mod:`repro.scenarios` registers every application as a
+named, parameterized scenario that the execution engine, examples, and
+benchmarks enumerate.
+
+See ``docs/architecture.md`` for a guided tour mapping each module to the
+paper's sections and tracing the data flow end to end.
 """
 
 from repro.core.campaign import (
@@ -57,6 +63,7 @@ from repro.scenarios import (
     build_default_registry,
     default_registry,
 )
+from repro.store import CampaignStore
 
 __version__ = "1.0.0"
 
@@ -66,6 +73,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignRunner",
+    "CampaignStore",
     "CommunicationMode",
     "DEFAULT_REGISTRY",
     "DaemonPlacement",

@@ -18,7 +18,7 @@ records for the analysis phase.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.analysis.clock_sync import SyncMessageRecord
 from repro.core.runtime.context import (
@@ -39,6 +39,9 @@ from repro.sim.environment import Environment
 from repro.sim.host import SchedulerConfig
 from repro.sim.network import IPC_PROFILE, LAN_TCP_PROFILE, LinkProfile
 from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.store import CampaignStore
 
 
 @dataclass(frozen=True)
@@ -234,14 +237,22 @@ class CampaignRunner:
     def __init__(self, config: CampaignConfig) -> None:
         self.config = config
 
-    def run(self, execution: ExecutionConfig | None = None) -> CampaignResult:
+    def run(
+        self,
+        execution: ExecutionConfig | None = None,
+        store: "CampaignStore | None" = None,
+    ) -> CampaignResult:
         """Run every experiment of every study of the campaign.
 
         ``execution`` overrides the campaign's configured backend for this
         call; results are identical for every backend and worker count.
+        ``store`` streams completed experiments into a
+        :class:`~repro.store.CampaignStore` as they finish and skips
+        experiments whose records already exist there (see
+        :mod:`repro.store`).
         """
         return build_executor(execution or self.config.execution).run_campaign(
-            self.config, runner_class=type(self)
+            self.config, runner_class=type(self), store=store
         )
 
     def run_study(
@@ -387,10 +398,15 @@ class CampaignRunner:
 
 
 def run_campaign(
-    config: CampaignConfig, execution: ExecutionConfig | None = None
+    config: CampaignConfig,
+    execution: ExecutionConfig | None = None,
+    store: "CampaignStore | None" = None,
 ) -> CampaignResult:
-    """Convenience wrapper: run a whole campaign with default settings."""
-    return CampaignRunner(config).run(execution)
+    """Convenience wrapper: run a whole campaign with default settings.
+
+    ``store`` makes the run durable and resumable; see :mod:`repro.store`.
+    """
+    return CampaignRunner(config).run(execution, store=store)
 
 
 def run_single_study(

@@ -29,6 +29,15 @@ summaries once analysis has consumed them (before they would cross a
 process boundary); set ``ExecutionConfig(keep_raw_results=True)`` to
 retain them.
 
+Both entry points accept an optional :class:`~repro.store.CampaignStore`.
+With a store attached the engine streams every completed experiment's
+payload to disk *as it finishes* — through a completion sink invoked in
+the coordinating process on every backend — and, on a later run of the
+same campaign, loads the experiments whose records already exist (matching
+configuration fingerprint and derived seed) instead of re-running them.
+That turns any campaign into a durable, resumable, analyze-many artifact;
+see :mod:`repro.store`.
+
 The process-pool backend requires the ``fork`` start method (study
 configurations carry application factories — often closures — that cannot
 be pickled; forked workers inherit them through process memory instead).
@@ -55,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
         StudyResult,
     )
     from repro.pipeline import AnalyzedExperiment, CampaignAnalysis
+    from repro.store import CampaignStore
 
 #: Backend name: run every experiment in the calling process, in order.
 SERIAL = "serial"
@@ -64,6 +74,14 @@ PROCESS_POOL = "process-pool"
 
 #: Callback signature for progress streaming: ``(study_name, done, total)``.
 ProgressCallback = Callable[[str, int, int], None]
+
+#: Callback signature for completion sinks: ``(study_index, experiment_index,
+#: value)``, invoked in the coordinating process for every finished task as
+#: it completes — before progress is reported — on every backend.  This is
+#: the seam the campaign store streams through: each completed experiment is
+#: persisted (and its raw payload released) the moment it arrives, instead
+#: of accumulating until the campaign ends.
+CompletionSink = Callable[[int, int, object], None]
 
 
 def available_backends() -> tuple[str, ...]:
@@ -231,12 +249,33 @@ class ExperimentExecutor:
     # the dispatch path; it defaults to the stock CampaignRunner.
 
     def run_campaign(
-        self, campaign: "CampaignConfig", runner_class: type | None = None
+        self,
+        campaign: "CampaignConfig",
+        runner_class: type | None = None,
+        store: "CampaignStore | None" = None,
     ) -> "CampaignResult":
-        """Runtime phase only: every experiment of every study."""
+        """Runtime phase only: every experiment of every study.
+
+        With a ``store``, every completed experiment is streamed to disk as
+        it finishes, and experiments whose records already exist (matching
+        configuration fingerprint and seed) are loaded instead of re-run.
+        """
         from repro.core.campaign import CampaignResult
 
-        slots = self._run(campaign, _runtime_task, runner_class)
+        if store is None:
+            slots = self._run(campaign, _runtime_task, runner_class)
+        else:
+            cached, pending, offsets = self._partition_cached(campaign, store)
+
+            def sink(study_index: int, experiment_index: int, result) -> None:
+                store.append(result)
+
+            slots = self._run(
+                campaign, _runtime_task, runner_class,
+                tasks=pending, sink=sink, done_offsets=offsets,
+            )
+            for (study_index, experiment_index), result in cached.items():
+                slots[study_index][experiment_index] = result
         result = CampaignResult(config=campaign)
         for study, experiments in zip(campaign.studies, slots):
             result.studies[study.name] = self._study_result(study, experiments)
@@ -253,13 +292,63 @@ class ExperimentExecutor:
         return self._study_result(study, slots[0])
 
     def run_and_analyze(
-        self, campaign: "CampaignConfig", runner_class: type | None = None
+        self,
+        campaign: "CampaignConfig",
+        runner_class: type | None = None,
+        store: "CampaignStore | None" = None,
     ) -> "CampaignAnalysis":
-        """Fused runtime + analysis phases for a whole campaign."""
-        from repro.core.campaign import CampaignResult
-        from repro.pipeline import CampaignAnalysis, StudyAnalysis
+        """Fused runtime + analysis phases for a whole campaign.
 
-        slots = self._run(campaign, _fused_task, runner_class)
+        With a ``store``, the campaign becomes durable and resumable:
+
+        * experiments whose records already exist in the store (with the
+          study's configuration fingerprint and the engine's derived seed)
+          are **loaded and analyzed from disk** — the simulator never runs
+          for them — and the rest execute normally;
+        * every freshly completed experiment's raw payload is appended to
+          the store the moment it reaches the coordinator, then released
+          (unless ``keep_raw_results``), so memory stays flat while the
+          disk accumulates the run-once/analyze-many archive.
+
+        Workers keep their raw payloads only when a store needs them; the
+        returned analysis is slimmed identically on every backend, so
+        attaching a store never changes any analyzed value.
+        """
+        from repro.core.campaign import CampaignResult
+        from repro.pipeline import CampaignAnalysis, StudyAnalysis, analyze_experiment
+
+        if store is None:
+            slots = self._run(campaign, _fused_task, runner_class)
+        else:
+            cached, pending, offsets = self._partition_cached(campaign, store)
+            keep_raw = self.config.keep_raw_results
+
+            def sink(study_index: int, experiment_index: int, analyzed) -> None:
+                store.append(analyzed.result)
+                if not keep_raw:
+                    analyzed.result = replace(
+                        analyzed.result, local_timelines={}, sync_messages=[]
+                    )
+
+            # Workers must keep raw payloads so the coordinator can persist
+            # them; the sink above re-applies the configured slimming.
+            slots = self._run(
+                campaign, _fused_task, runner_class,
+                tasks=pending, sink=sink, done_offsets=offsets,
+                keep_raw_override=True,
+            )
+            # Analyze the cached records in the coordinator, releasing each
+            # raw payload as soon as its analysis (and slimming) is done so
+            # the resume path does not hold the whole archive in memory.
+            while cached:
+                (study_index, experiment_index), result = cached.popitem()
+                study = campaign.studies[study_index]
+                analyzed = analyze_experiment(result, study.fault_specifications())
+                if not keep_raw:
+                    analyzed.result = replace(
+                        analyzed.result, local_timelines={}, sync_messages=[]
+                    )
+                slots[study_index][experiment_index] = analyzed
         campaign_result = CampaignResult(config=campaign)
         analysis = CampaignAnalysis(campaign=campaign_result)
         for study, analyzed in zip(campaign.studies, slots):
@@ -293,32 +382,89 @@ class ExperimentExecutor:
             for experiment_index in range(study.experiments)
         ]
 
+    @staticmethod
+    def _partition_cached(
+        campaign: "CampaignConfig", store: "CampaignStore"
+    ) -> tuple[dict[tuple[int, int], "ExperimentResult"], list[tuple[int, int]], list[int]]:
+        """Split a campaign into store-cached and still-pending experiments.
+
+        Attaches the store (creating or fingerprint-validating the
+        manifest), then returns ``(cached, pending, done_offsets)``:
+        records that may be reused keyed by task id, the tasks that must
+        actually run, and the per-study count of reused records (so
+        progress reporting counts skipped experiments as already done).
+
+        The cached records are decoded eagerly (seed validation needs the
+        payload), so peak memory on resume is proportional to the reused
+        portion of the archive; callers release each record as they consume
+        it.  A two-pass streaming reader that validates seeds first and
+        re-decodes lazily would trade that peak for double decode cost —
+        the right move once archives outgrow memory (sharded campaigns).
+        """
+        store.attach(campaign)
+        cached: dict[tuple[int, int], "ExperimentResult"] = {}
+        offsets = [0] * len(campaign.studies)
+        for study_index, study in enumerate(campaign.studies):
+            for experiment_index, result in store.resumable_records(study).items():
+                if 0 <= experiment_index < study.experiments:
+                    cached[(study_index, experiment_index)] = result
+                    offsets[study_index] += 1
+        pending = [
+            task for task in ExperimentExecutor._tasks(campaign) if task not in cached
+        ]
+        return cached, pending, offsets
+
     def _collect(
         self,
         campaign: "CampaignConfig",
         completions: Iterable[tuple[int, int, object]],
+        sink: CompletionSink | None = None,
+        done_offsets: Sequence[int] | None = None,
     ) -> list[list]:
-        """Slot streamed completions into per-study index-ordered lists."""
+        """Slot streamed completions into per-study index-ordered lists.
+
+        ``sink`` is invoked for every completion as it arrives (before the
+        progress callback) — the streaming seam the campaign store writes
+        through.  ``done_offsets`` pre-counts experiments satisfied from
+        the store so progress reports completed-of-total over the whole
+        study, not just the freshly executed remainder.
+        """
         slots: list[list] = [[None] * study.experiments for study in campaign.studies]
-        done = [0] * len(campaign.studies)
+        done = list(done_offsets) if done_offsets is not None else [0] * len(campaign.studies)
         progress = self.config.progress
         for study_index, experiment_index, value in completions:
             slots[study_index][experiment_index] = value
+            if sink is not None:
+                sink(study_index, experiment_index, value)
             done[study_index] += 1
             if progress is not None:
                 study = campaign.studies[study_index]
                 progress(study.name, done[study_index], study.experiments)
         return slots
 
-    def _publish_state(self, campaign: "CampaignConfig", runner_class: type | None) -> None:
+    def _publish_state(
+        self,
+        campaign: "CampaignConfig",
+        runner_class: type | None,
+        keep_raw_override: bool | None = None,
+    ) -> None:
         from repro.core.campaign import CampaignRunner
 
         _WORKER_STATE["campaign"] = campaign
-        _WORKER_STATE["keep_raw_results"] = self.config.keep_raw_results
+        _WORKER_STATE["keep_raw_results"] = (
+            self.config.keep_raw_results if keep_raw_override is None else keep_raw_override
+        )
         _WORKER_STATE["runner"] = runner_class or CampaignRunner
 
     def _run(
-        self, campaign: "CampaignConfig", task, runner_class: type | None
+        self,
+        campaign: "CampaignConfig",
+        task,
+        runner_class: type | None,
+        tasks: list[tuple[int, int]] | None = None,
+        sink: CompletionSink | None = None,
+        done_offsets: Sequence[int] | None = None,
+        keep_raw_override: bool | None = None,
     ) -> list[list]:
         raise NotImplementedError
 
@@ -327,11 +473,24 @@ class SerialExecutor(ExperimentExecutor):
     """Run every experiment in the calling process, in index order."""
 
     def _run(
-        self, campaign: "CampaignConfig", task, runner_class: type | None
+        self,
+        campaign: "CampaignConfig",
+        task,
+        runner_class: type | None,
+        tasks: list[tuple[int, int]] | None = None,
+        sink: CompletionSink | None = None,
+        done_offsets: Sequence[int] | None = None,
+        keep_raw_override: bool | None = None,
     ) -> list[list]:
-        self._publish_state(campaign, runner_class)
+        self._publish_state(campaign, runner_class, keep_raw_override)
+        items = self._tasks(campaign) if tasks is None else tasks
         try:
-            return self._collect(campaign, (task(item) for item in self._tasks(campaign)))
+            return self._collect(
+                campaign,
+                (task(item) for item in items),
+                sink=sink,
+                done_offsets=done_offsets,
+            )
         finally:
             _WORKER_STATE.clear()
 
@@ -347,29 +506,41 @@ class ProcessPoolExecutor(ExperimentExecutor):
     """
 
     def _run(
-        self, campaign: "CampaignConfig", task, runner_class: type | None
+        self,
+        campaign: "CampaignConfig",
+        task,
+        runner_class: type | None,
+        tasks: list[tuple[int, int]] | None = None,
+        sink: CompletionSink | None = None,
+        done_offsets: Sequence[int] | None = None,
+        keep_raw_override: bool | None = None,
     ) -> list[list]:
         if PROCESS_POOL not in available_backends():
             raise RuntimeConfigurationError(
                 "the process-pool backend needs the 'fork' multiprocessing start "
                 "method, which this platform does not provide; use the serial backend"
             )
-        tasks = self._tasks(campaign)
-        workers = min(self.config.resolved_workers(), max(len(tasks), 1))
+        items = self._tasks(campaign) if tasks is None else tasks
+        if not items:
+            # Fully resumed campaign: nothing to fork for.
+            return self._collect(campaign, (), sink=sink, done_offsets=done_offsets)
+        workers = min(self.config.resolved_workers(), len(items))
         context = multiprocessing.get_context("fork")
         # Publish the campaign (and runner class) before forking: workers
         # inherit them through process memory, so unpicklable study contents
         # never cross the process boundary (only (study, experiment) index
         # pairs do).
-        self._publish_state(campaign, runner_class)
+        self._publish_state(campaign, runner_class, keep_raw_override)
         try:
             with context.Pool(processes=workers) as pool:
                 completions = pool.imap_unordered(
                     task,
-                    tasks,
-                    chunksize=self.config.resolved_chunk_size(len(tasks), workers),
+                    items,
+                    chunksize=self.config.resolved_chunk_size(len(items), workers),
                 )
-                return self._collect(campaign, completions)
+                return self._collect(
+                    campaign, completions, sink=sink, done_offsets=done_offsets
+                )
         finally:
             _WORKER_STATE.clear()
 

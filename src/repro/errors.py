@@ -70,6 +70,29 @@ class ClockSynchronizationError(AnalysisError):
     """
 
 
+class StoreError(ReproError):
+    """A campaign store operation failed.
+
+    Covers structural problems with a campaign directory (missing or
+    unreadable manifest, malformed record files) and misuse of store-loaded
+    results (for example trying to re-run the simulator from a
+    reconstructed study configuration that has no application factories).
+    """
+
+
+class StoreIntegrityError(StoreError):
+    """A campaign store's contents do not match what the caller expects.
+
+    Raised when the manifest of an existing campaign directory disagrees
+    with the campaign being attached (different campaign name, or a study
+    whose configuration fingerprint changed since the records were
+    written), or when a strict load encounters corrupt record lines.  A
+    fingerprint mismatch means stored experiments were produced by a
+    *different* configuration and silently mixing them into a resumed run
+    would poison the campaign's measures.
+    """
+
+
 class MeasureError(ReproError):
     """A measure specification is invalid or cannot be evaluated."""
 

@@ -8,6 +8,12 @@ its output per experiment is a *final observation function value*.  A
 across studies: as one pooled sample (*simple sampling*), as a linearly
 weighted combination of per-study moments (*stratified weighted*), or with
 an arbitrary user function of the per-study means (*stratified user*).
+
+Both levels are pure functions of the analysis phase's output: they apply
+unchanged to a live :class:`~repro.pipeline.CampaignAnalysis` and to one
+re-loaded from a :class:`~repro.store.CampaignStore` archive, which is what
+makes the run-once/analyze-many workflow possible
+(:func:`estimate_campaign_measure` is the one-call form).
 """
 
 from repro.measures.campaign_measures import (
@@ -15,6 +21,7 @@ from repro.measures.campaign_measures import (
     SimpleSamplingMeasure,
     StratifiedUserMeasure,
     StratifiedWeightedMeasure,
+    estimate_campaign_measure,
 )
 from repro.measures.observation import (
     Count,
@@ -67,6 +74,7 @@ __all__ = [
     "Transition",
     "UserObservation",
     "combine_stratified",
+    "estimate_campaign_measure",
     "select_all",
     "summarize_sample",
     "value_between",

@@ -12,15 +12,28 @@ more studies:
 * :class:`StratifiedUserMeasure` applies an arbitrary user function to the
   per-study means; as the paper notes, the resulting value carries no
   statistical guarantees.
+
+The measure phase is a pure function of the analysis phase's output, so it
+runs equally over a live :class:`~repro.pipeline.CampaignAnalysis` and one
+loaded from a :class:`~repro.store.CampaignStore` archive
+(``store.load_analysis()``) — :func:`estimate_campaign_measure` is the
+one-call form used by both workflows, and
+:meth:`CampaignMeasureResult.to_dict` gives estimates a primitive,
+comparable form (the store tests use dictionary equality to assert that
+archived and live campaigns yield bit-identical measures).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.errors import StatisticsError
 from repro.measures.statistics import MomentSummary, combine_stratified, summarize_sample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.measures.study import StudyMeasure
+    from repro.pipeline import CampaignAnalysis
 
 
 def _clean(values: Sequence[float | None]) -> list[float]:
@@ -50,6 +63,46 @@ class CampaignMeasureResult:
                 f"campaign measure {self.name!r} of kind {self.kind!r} has no moment summary"
             )
         return self.summary.percentile(probability)
+
+    def to_dict(self) -> dict:
+        """The estimate as a plain dictionary of primitives.
+
+        Suitable for JSON archival next to a campaign store and for exact
+        comparison: floats are passed through untouched, so two estimates
+        computed from bit-identical inputs produce equal dictionaries.
+        """
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "value": self.value,
+            "summary": None if self.summary is None else self.summary.to_dict(),
+            "per_study": {
+                study: summary.to_dict() for study, summary in self.per_study.items()
+            },
+            "samples_used": self.samples_used,
+        }
+
+
+def estimate_campaign_measure(
+    campaign_measure,
+    analysis: "CampaignAnalysis",
+    study_measures: "Mapping[str, StudyMeasure]",
+    time_policy: str = "midpoint",
+) -> CampaignMeasureResult:
+    """One-call measure phase over an analysis, live or store-loaded.
+
+    Applies each study's measure to its accepted experiments
+    (:meth:`~repro.pipeline.CampaignAnalysis.measure_values`) and feeds the
+    resulting per-study value lists to ``campaign_measure.estimate``.
+    Because the measure phase never touches the simulator, ``analysis`` can
+    equally come from :func:`~repro.pipeline.run_and_analyze` or from an
+    archived campaign via
+    :meth:`~repro.store.CampaignStore.load_analysis` — the estimates are
+    bit-identical either way.
+    """
+    return campaign_measure.estimate(
+        analysis.measure_values(study_measures, time_policy)
+    )
 
 
 class SimpleSamplingMeasure:

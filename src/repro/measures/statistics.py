@@ -91,6 +91,33 @@ class MomentSummary:
             return 0.0
         return self.kurtosis_coefficient - 3.0
 
+    def to_dict(self) -> dict:
+        """The summary as a plain dictionary of primitives.
+
+        Floats pass through untouched (JSON round-trips them bit-exactly),
+        so equality of two summaries' dictionaries is equality of the
+        summaries — which is how the store tests assert that measures
+        computed from archived records are bit-identical to live ones.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "central_moment_2": self.central_moment_2,
+            "central_moment_3": self.central_moment_3,
+            "central_moment_4": self.central_moment_4,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MomentSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        return cls(
+            count=data["count"],
+            mean=data["mean"],
+            central_moment_2=data["central_moment_2"],
+            central_moment_3=data["central_moment_3"],
+            central_moment_4=data["central_moment_4"],
+        )
+
     def percentile(self, probability: float) -> float:
         """Percentile point via the Cornish-Fisher expansion.
 

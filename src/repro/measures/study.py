@@ -7,6 +7,13 @@ of the *previous* triple and decides whether the experiment stays in the
 measure; the output of the last triple is the experiment's *final
 observation function value* (or ``None`` if the experiment was filtered
 out along the way).
+
+Study measures consume only :class:`~repro.measures.timeline_view.TimelineView`
+objects — projections of verified global timelines — never the simulator
+or the raw runtime payloads.  They therefore apply identically to freshly
+analyzed experiments and to experiments re-loaded from a
+:class:`~repro.store.CampaignStore` archive: changing a measure and
+re-applying it over ``store.load_analysis()`` costs zero simulation time.
 """
 
 from __future__ import annotations

@@ -9,12 +9,20 @@ together behind a small facade used by the examples and benchmarks:
    experiments with injections that cannot be proven correct;
 3. apply study measures to the accepted experiments and estimate
    campaign-level measures (:mod:`repro.measures`).
+
+The runtime phase is the only expensive, stateful step; phases 2 and 3 are
+pure functions of its output.  Attaching a :class:`~repro.store.CampaignStore`
+to :func:`run_and_analyze` exploits that: the raw experiment payloads are
+archived as they complete, interrupted campaigns resume where they stopped,
+and the analysis/measure phases can be re-run from the archive at any time
+without touching the simulator (``store.load_analysis()``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.analysis.clock_sync import ClockBounds, estimate_all_bounds
 from repro.analysis.global_timeline import GlobalTimeline, build_global_timeline
@@ -29,6 +37,9 @@ from repro.core.execution import ExecutionConfig, build_executor
 from repro.core.specs.fault_spec import FaultSpecification
 from repro.measures.study import StudyMeasure
 from repro.measures.timeline_view import TimelineView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.store import CampaignStore
 
 
 @dataclass
@@ -155,7 +166,9 @@ def analyze_campaign(result: CampaignResult) -> CampaignAnalysis:
 
 
 def run_and_analyze(
-    config: CampaignConfig, execution: ExecutionConfig | None = None
+    config: CampaignConfig,
+    execution: ExecutionConfig | None = None,
+    store: "CampaignStore | str | Path | None" = None,
 ) -> CampaignAnalysis:
     """Run the runtime phase and the analysis phase of a campaign.
 
@@ -167,8 +180,23 @@ def run_and_analyze(
     pooled runs return structurally identical results and large campaigns
     stay memory-light.  Pass ``ExecutionConfig(keep_raw_results=True)`` to
     retain the raw payloads.
+
+    ``store`` (a :class:`~repro.store.CampaignStore` or a directory path)
+    makes the campaign durable and resumable: completed experiments stream
+    into the store as they finish, experiments already recorded there (with
+    matching configuration fingerprint and seed) are loaded instead of
+    re-simulated, and the archived records can later be re-analyzed without
+    any simulation via :meth:`~repro.store.CampaignStore.load_analysis`.
+    Because record round trips are bit-exact, a resumed campaign's measures
+    are bit-identical to an uninterrupted run's.
     """
-    return build_executor(execution or config.execution).run_and_analyze(config)
+    if store is not None and not hasattr(store, "append"):
+        from repro.store import CampaignStore
+
+        store = CampaignStore(store)
+    return build_executor(execution or config.execution).run_and_analyze(
+        config, store=store
+    )
 
 
 def correct_injection_fraction(

@@ -67,6 +67,26 @@ class Scenario:
             kwargs["seed"] = seed
         return self.builder(**kwargs)
 
+    def fingerprint(
+        self,
+        experiments: int | None = None,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> str:
+        """Stable configuration fingerprint of the study this scenario builds.
+
+        Delegates to :func:`repro.store.manifest.study_fingerprint`: a
+        SHA-256 digest over the built study's canonical declarative
+        description (hosts, clocks, node definitions, fault specifications,
+        runtime design, timeouts).  The campaign store uses this digest to
+        decide whether archived records may be resumed, so two registry
+        builds with identical parameters fingerprint identically across
+        processes and sessions.
+        """
+        from repro.store.manifest import study_fingerprint
+
+        return study_fingerprint(self.build(experiments=experiments, seed=seed, name=name))
+
     def fault_lines(self) -> tuple[str, ...]:
         """The scenario's fault-specification lines, derived from a built study."""
         specifications = self.build(experiments=1).fault_specifications()
