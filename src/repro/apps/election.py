@@ -35,6 +35,7 @@ from repro.measures import (
     UserObservation,
     value_positive,
 )
+from repro.sim.topology import NetworkConfig
 
 #: The three state machines of the worked example.
 DEFAULT_MACHINES = ("black", "yellow", "green")
@@ -370,6 +371,7 @@ def build_election_study(
     parameters_by_machine: dict[str, ElectionParameters] | None = None,
     restart_policy: RestartPolicy | None = None,
     experiment_timeout: float = 4.0,
+    network: NetworkConfig | None = None,
     seed: int = 0,
     weight: float = 1.0,
 ) -> StudyConfig:
@@ -401,6 +403,7 @@ def build_election_study(
         experiments=experiments,
         restart_policy=restart_policy or RestartPolicy(enabled=True, delay=0.050, max_restarts=2),
         experiment_timeout=experiment_timeout,
+        network=network or NetworkConfig(),
         seed=seed,
         weight=weight,
     )

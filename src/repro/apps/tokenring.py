@@ -35,6 +35,7 @@ from repro.core.specs.state_machine import (
     StateSpecification,
     build_specification,
 )
+from repro.sim.topology import NetworkConfig
 
 #: Default nicknames of the ring machines (ring order = sorted nicknames).
 DEFAULT_MACHINES = ("node1", "node2", "node3")
@@ -260,6 +261,7 @@ def build_tokenring_study(
     experiments: int = 10,
     parameters: TokenRingParameters | None = None,
     experiment_timeout: float | None = None,
+    network: NetworkConfig | None = None,
     seed: int = 0,
     weight: float = 1.0,
 ) -> StudyConfig:
@@ -292,6 +294,7 @@ def build_tokenring_study(
         experiments=experiments,
         restart_policy=RestartPolicy(enabled=False),
         experiment_timeout=experiment_timeout or parameters.run_duration + 2.0,
+        network=network or NetworkConfig(),
         seed=seed,
         weight=weight,
     )

@@ -31,6 +31,7 @@ from repro.core.specs.state_machine import (
     build_specification,
 )
 from repro.errors import RuntimeConfigurationError
+from repro.sim.topology import NetworkConfig
 
 #: Default nicknames of the two-phase-commit machines.
 DEFAULT_MACHINES = ("coordinator", "part1", "part2")
@@ -345,6 +346,7 @@ def build_twophase_study(
     experiments: int = 10,
     parameters: TwoPhaseParameters | None = None,
     experiment_timeout: float | None = None,
+    network: NetworkConfig | None = None,
     seed: int = 0,
     weight: float = 1.0,
 ) -> StudyConfig:
@@ -389,6 +391,7 @@ def build_twophase_study(
         experiments=experiments,
         restart_policy=RestartPolicy(enabled=False),
         experiment_timeout=experiment_timeout or parameters.run_duration + 2.0,
+        network=network or NetworkConfig(),
         seed=seed,
         weight=weight,
     )

@@ -39,6 +39,7 @@ from repro.sim.environment import Environment
 from repro.sim.host import SchedulerConfig
 from repro.sim.network import IPC_PROFILE, LAN_TCP_PROFILE, LinkProfile
 from repro.sim.rng import RandomStreams
+from repro.sim.topology import NetworkConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.store import CampaignStore
@@ -92,6 +93,7 @@ class StudyConfig:
     clock_generation: ClockGenerationConfig = field(default_factory=ClockGenerationConfig)
     ipc_profile: LinkProfile = IPC_PROFILE
     lan_profile: LinkProfile = LAN_TCP_PROFILE
+    network: NetworkConfig = field(default_factory=NetworkConfig)
     seed: int = 0
     weight: float = 1.0
     max_events: int = 5_000_000
@@ -284,6 +286,7 @@ class CampaignRunner:
             default_scheduler=study.default_scheduler,
             ipc_profile=study.ipc_profile,
             lan_profile=study.lan_profile,
+            network=study.network,
         )
         clock_parameters = self._build_hosts(environment, study, seed)
         reference = max(
@@ -306,6 +309,14 @@ class CampaignRunner:
         )
 
         start_time = environment.kernel.now
+        # Timer-driven network faults fire at fixed offsets from experiment
+        # start (after the pre-experiment sync mini-phase); they mutate the
+        # topology without consuming any randomness, so studies without a
+        # schedule are bit-identical to pre-topology runs.
+        for scheduled in study.network.schedule:
+            environment.kernel.schedule(
+                scheduled.at, environment.network.apply, scheduled.spec, scheduled.name
+            )
         self._spawn_daemons(environment, context)
         environment.spawn(CentralDaemonProcess(context), study.host_names[0])
         self._run_until_complete(environment, context, study)

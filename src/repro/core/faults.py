@@ -6,16 +6,25 @@ transitions from false to true (the parser is positive-edge-triggered), it
 instructs the probe to inject the corresponding fault — subject to the
 fault's ``once``/``always`` trigger — and records the injection time
 returned by the probe on the local timeline.
+
+Faults carrying a :class:`~repro.sim.topology.NetworkFaultSpec` are
+*network faults*: instead of going through the probe into the application,
+they are handed to the attached network injector (the runtime wires it to
+the experiment's :meth:`~repro.sim.network.NetworkModel.apply`), which
+mutates the topology — partitions, link outages, degradation.  Triggering,
+``once``/``always`` semantics, and timeline recording are identical to
+application faults, so the analysis phase verifies them the same way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.core.probe import Probe
 from repro.core.recorder import Recorder
 from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification
+from repro.errors import RuntimePhaseError
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,7 @@ class FaultParser:
         self._faults = faults
         self._probe = probe
         self._recorder = recorder
+        self._network_injector: Callable[[FaultDefinition], float] | None = None
         self._previous: dict[str, bool] = {fault.name: False for fault in faults}
         self._fired: set[str] = set()
         self.injections: list[InjectionRequest] = []
@@ -54,6 +64,17 @@ class FaultParser:
     def attach_recorder(self, recorder: Recorder) -> None:
         """Late-bind the recorder."""
         self._recorder = recorder
+
+    def attach_network_injector(
+        self, injector: Callable[[FaultDefinition], float]
+    ) -> None:
+        """Late-bind the network injector for topology-mutating faults.
+
+        ``injector(fault)`` must apply ``fault.network`` to the
+        experiment's network model and return the local-clock time of the
+        injection (read *before* the mutation, mirroring the probe).
+        """
+        self._network_injector = injector
 
     def expression_values(self, view: Mapping[str, str]) -> dict[str, bool]:
         """Evaluate every fault expression against ``view`` (no side effects)."""
@@ -89,7 +110,14 @@ class FaultParser:
         return performed
 
     def _inject(self, fault: FaultDefinition) -> float:
-        if self._probe is None:
+        if fault.network is not None:
+            if self._network_injector is None:
+                raise RuntimePhaseError(
+                    f"network fault {fault.name!r} fired but no network "
+                    "injector is attached to the fault parser"
+                )
+            injection_time = self._network_injector(fault)
+        elif self._probe is None:
             injection_time = self._recorder.now() if self._recorder is not None else 0.0
         else:
             injection_time = self._probe.inject_fault(fault.name)

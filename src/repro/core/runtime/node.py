@@ -74,6 +74,7 @@ class LokiNodeProcess(SimProcess):
         self.probe = ApplicationProbe(self.application, self.node_context)
         self.probe.attach(self.state_machine)
         self.fault_parser.attach_probe(self.probe)
+        self.fault_parser.attach_network_injector(self._inject_network_fault)
 
         daemon = self.context.daemon_name(self.host.name, self.name)
         self.send(daemon, msg.RegisterNode(machine=self.name, host=self.host.name,
@@ -99,6 +100,18 @@ class LokiNodeProcess(SimProcess):
         return DirectTransport(
             send=self.send, machine=self.name, host=self.host.name, daemon=daemon
         )
+
+    def _inject_network_fault(self, fault) -> float:
+        """Apply a topology-mutating fault (the network analogue of the probe).
+
+        The injection time is read before the mutation so it is stamped
+        inside the global state that triggered the fault, exactly like
+        :class:`~repro.core.runtime.application.ApplicationProbe`.
+        """
+        injection_time = self.local_clock()
+        self.context.environment.network.apply(fault.network, label=fault.name)
+        self.context.stats["network_faults_injected"] += 1
+        return injection_time
 
     def on_crash(self, reason: str) -> None:
         """Signal-handler analogue: record the crash before the process dies."""

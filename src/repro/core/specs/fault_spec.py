@@ -12,6 +12,16 @@ The fault ``F1`` is injected whenever the Boolean expression transitions
 from false to true because of a change in the partial view of the global
 state.  ``once`` restricts the injection to the first such transition of
 the experiment; ``always`` injects on every such transition.
+
+A fault may carry a *network* action instead of the default probe
+injection: an optional trailing ``network:<kind>[...]`` token (see
+:class:`~repro.sim.topology.NetworkFaultSpec`) turns the fault into a
+topology mutation — a partition, an (possibly one-way) link outage, a
+degradation, or a loss/duplication/reordering change — applied by the
+fault parser under exactly the same positive-edge-triggered rule as crash
+faults::
+
+    NP1 ((coordinator:PREPARE) & (part1:VOTED)) once network:partition[hosta|hostb+hostc;duration=0.08]
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.core.expression import Expression, parse_expression
 from repro.errors import SpecificationError
+from repro.sim.topology import NetworkFaultSpec
 
 
 class FaultTrigger(enum.Enum):
@@ -42,11 +53,18 @@ class FaultTrigger(enum.Enum):
 
 @dataclass(frozen=True)
 class FaultDefinition:
-    """One fault: a name, a Boolean expression, and a trigger mode."""
+    """One fault: a name, a Boolean expression, and a trigger mode.
+
+    ``network`` selects the fault's *effect*: ``None`` (the default)
+    injects through the probe into the application, while a
+    :class:`~repro.sim.topology.NetworkFaultSpec` mutates the network
+    topology instead.  Triggering is identical for both.
+    """
 
     name: str
     expression: Expression
     trigger: FaultTrigger = FaultTrigger.ALWAYS
+    network: NetworkFaultSpec | None = None
 
     def should_fire(self, previous: bool, current: bool, already_fired: bool) -> bool:
         """Positive-edge-triggered firing rule of the fault parser.
@@ -71,7 +89,10 @@ class FaultDefinition:
 
     def to_text(self) -> str:
         """Render as one fault-specification line."""
-        return f"{self.name} {self.expression.to_text()} {self.trigger.value}"
+        line = f"{self.name} {self.expression.to_text()} {self.trigger.value}"
+        if self.network is not None:
+            line += f" {self.network.to_token()}"
+        return line
 
 
 @dataclass(frozen=True)
@@ -123,11 +144,30 @@ class FaultSpecification:
         return cls(faults=tuple(definitions))
 
 
+def network_fault(
+    name: str,
+    expression: Expression | str,
+    spec: NetworkFaultSpec,
+    trigger: FaultTrigger = FaultTrigger.ONCE,
+) -> FaultDefinition:
+    """Build a state-triggered network fault.
+
+    ``expression`` may be an :class:`~repro.core.expression.Expression` or
+    its textual form.  The returned definition fires under the standard
+    positive-edge rule and, instead of injecting into the application,
+    applies ``spec`` to the experiment's network model.
+    """
+    if isinstance(expression, str):
+        expression = parse_expression(expression)
+    return FaultDefinition(name=name, expression=expression, trigger=trigger, network=spec)
+
+
 def parse_fault_specification(text: str) -> FaultSpecification:
     """Parse a fault-specification file into a :class:`FaultSpecification`.
 
     One fault per non-empty, non-comment line: the fault name, then the
-    Boolean expression, then ``once`` or ``always``.
+    Boolean expression, then ``once`` or ``always``, then optionally a
+    ``network:<kind>[...]`` token marking the fault as a network fault.
     """
     definitions: list[FaultDefinition] = []
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
@@ -135,16 +175,24 @@ def parse_fault_specification(text: str) -> FaultSpecification:
         if not line or line.startswith("#"):
             continue
         tokens = line.split()
+        network: NetworkFaultSpec | None = None
+        if tokens and tokens[-1].startswith("network:"):
+            network = NetworkFaultSpec.from_token(tokens[-1])
+            tokens = tokens[:-1]
         if len(tokens) < 3:
             raise SpecificationError(
                 f"fault specification line {line_number} must be "
-                f"'<name> <expression> <once|always>': {line!r}"
+                f"'<name> <expression> <once|always> [network:<kind>[...]]': {line!r}"
             )
         name = tokens[0]
         trigger = FaultTrigger.from_text(tokens[-1])
         expression_text = " ".join(tokens[1:-1])
         expression = parse_expression(expression_text)
-        definitions.append(FaultDefinition(name=name, expression=expression, trigger=trigger))
+        definitions.append(
+            FaultDefinition(
+                name=name, expression=expression, trigger=trigger, network=network
+            )
+        )
     return FaultSpecification.from_definitions(definitions)
 
 

@@ -1,11 +1,14 @@
 """The default scenario catalog: every example application as a scenario.
 
 Registers the three applications that existed before the registry (toggle,
-leader election, primary-backup replication) plus the two-phase-commit and
-token-ring workloads, each new application in a correlated and an
-uncorrelated fault variant.  All builders are small closures over the
-``build_*_study`` helpers of :mod:`repro.apps`, so everything shown here
-is buildable with the public API alone.
+leader election, primary-backup replication), the two-phase-commit and
+token-ring workloads (each in a correlated and an uncorrelated crash-fault
+variant), and the partition/degradation scenarios enabled by the
+topology-aware network model: an in-doubt coordinator isolation, a
+token-ring partition-and-heal with token-regeneration races, and a leader
+election under an asymmetric (one-way) link outage.  All builders are
+small closures over the ``build_*_study`` helpers of :mod:`repro.apps`, so
+everything shown here is buildable with the public API alone.
 """
 
 from __future__ import annotations
@@ -26,7 +29,9 @@ from repro.apps.tokenring import (
 from repro.apps.toggle import DRIVER, build_toggle_study
 from repro.apps.twophase import build_twophase_study, participant_voted_fault
 from repro.core.campaign import StudyConfig
+from repro.core.expression import And, StateAtom
 from repro.core.runtime.context import RestartPolicy
+from repro.core.specs.fault_spec import network_fault
 from repro.measures import (
     Count,
     MeasureStep,
@@ -35,6 +40,12 @@ from repro.measures import (
     TotalDuration,
 )
 from repro.scenarios.registry import Scenario, ScenarioRegistry
+from repro.sim.topology import (
+    NetworkConfig,
+    NetworkFaultKind,
+    NetworkFaultSpec,
+    ScheduledNetworkFault,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -70,6 +81,14 @@ def _tokenring_holding_measure() -> StudyMeasure:
     return StudyMeasure(
         name="node3-holding-time",
         steps=(MeasureStep(StateTuple("node3", "HOLDING"), TotalDuration("T")),),
+    )
+
+
+def _election_reelection_measure() -> StudyMeasure:
+    """How often ``yellow`` re-entered an election (>= 2 means split brain)."""
+    return StudyMeasure(
+        name="yellow-reelections",
+        steps=(MeasureStep(StateTuple("yellow", "ELECT"), Count(edge="U")),),
     )
 
 
@@ -151,6 +170,107 @@ def _build_tokenring_uncorrelated(
     )
 
 
+def _build_twophase_partition(
+    name: str = "two-phase-commit-partition", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Isolate the coordinator's host exactly inside the in-doubt window.
+
+    The partition is state-triggered on the same global state as the
+    classic in-doubt crash fault — ``(coordinator:PREPARE) & (part1:VOTED)``
+    — but instead of crashing anything it cuts ``hosta`` (the coordinator)
+    off from both participant hosts for 80 ms.  Outstanding votes and the
+    eventual decision are dropped by the substrate, the coordinator aborts
+    on its vote timeout, the in-doubt participant aborts on its decision
+    timeout, and after the automatic heal the service resumes committing.
+    """
+    partition = NetworkFaultSpec(
+        kind=NetworkFaultKind.PARTITION,
+        groups=(("hosta",), ("hostb", "hostc")),
+        duration=0.08,
+    )
+    fault = network_fault(
+        "npart1",
+        And(StateAtom("coordinator", "PREPARE"), StateAtom("part1", "VOTED")),
+        partition,
+    )
+    return build_twophase_study(
+        name=name,
+        faults_by_machine={"coordinator": (fault,)},
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_tokenring_partition_heal(
+    name: str = "token-ring-partition-heal", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Split the ring on a timer, heal it, and race the token regeneration.
+
+    While ``hosta`` (node1, the regenerating member) is cut off from the
+    other two hosts, any token crossing the cut is dropped; node1's
+    loss-timeout regeneration rule then mints a fresh token on its side
+    while a surviving token may still circulate on the other side.  After
+    the scheduled heal the duplicate-token race resolves through the
+    ring's retire-on-duplicate rule.
+    """
+    schedule = (
+        ScheduledNetworkFault(
+            at=0.08,
+            spec=NetworkFaultSpec(
+                kind=NetworkFaultKind.PARTITION,
+                groups=(("hosta",), ("hostb", "hostc")),
+            ),
+            name="ring-split",
+        ),
+        ScheduledNetworkFault(
+            at=0.20,
+            spec=NetworkFaultSpec(kind=NetworkFaultKind.HEAL),
+            name="ring-heal",
+        ),
+    )
+    return build_tokenring_study(
+        name=name,
+        faults_by_machine={},
+        network=NetworkConfig(schedule=schedule),
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_election_asymmetric_link(
+    name: str = "leader-election-asym-link", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Leader election under a one-way link outage (classic split brain).
+
+    When ``black`` (favored, on ``hosta``) becomes leader, the directed
+    link ``hosta -> hostb`` goes down for 300 ms while the reverse
+    direction keeps working: ``yellow`` stops receiving heartbeats,
+    declares the leader dead, and triggers a re-election among the
+    followers — while ``black`` continues to lead, oblivious, because
+    nothing it receives changes.  The measure counts how often ``yellow``
+    re-entered an election.
+    """
+    parameters = {
+        machine: ElectionParameters(run_duration=0.5, favored=(machine == "black"))
+        for machine in ELECTION_MACHINES
+    }
+    outage = NetworkFaultSpec(
+        kind=NetworkFaultKind.LINK_DOWN,
+        link=("hosta", "hostb"),
+        symmetric=False,
+        duration=0.3,
+    )
+    fault = network_fault("basym1", StateAtom("black", "LEAD"), outage)
+    return build_election_study(
+        name=name,
+        faults_by_machine={"black": (fault,)},
+        experiments=experiments,
+        parameters_by_machine=parameters,
+        restart_policy=RestartPolicy(enabled=False),
+        seed=seed,
+    )
+
+
 # ---------------------------------------------------------------------------
 # The default registry
 # ---------------------------------------------------------------------------
@@ -214,6 +334,30 @@ def build_default_registry() -> ScenarioRegistry:
                 builder=_build_tokenring_uncorrelated,
                 measure_factory=_tokenring_holding_measure,
                 tags=("uncorrelated",),
+            ),
+            Scenario(
+                name="two-phase-commit-partition",
+                description="atomic commitment; isolate the coordinator's host "
+                "inside the in-doubt window, then auto-heal",
+                builder=_build_twophase_partition,
+                measure_factory=_twophase_commit_measure,
+                tags=("network", "partition", "correlated"),
+            ),
+            Scenario(
+                name="token-ring-partition-heal",
+                description="token-ring mutual exclusion; scheduled partition "
+                "and heal racing the token regeneration rule",
+                builder=_build_tokenring_partition_heal,
+                measure_factory=_tokenring_holding_measure,
+                tags=("network", "partition", "scheduled"),
+            ),
+            Scenario(
+                name="leader-election-asym-link",
+                description="leader election; one-way link outage starves a "
+                "follower of heartbeats (split brain)",
+                builder=_build_election_asymmetric_link,
+                measure_factory=_election_reelection_measure,
+                tags=("network", "asymmetric"),
             ),
         ]
     )

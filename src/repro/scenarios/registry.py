@@ -88,11 +88,19 @@ class Scenario:
         return study_fingerprint(self.build(experiments=experiments, seed=seed, name=name))
 
     def fault_lines(self) -> tuple[str, ...]:
-        """The scenario's fault-specification lines, derived from a built study."""
-        specifications = self.build(experiments=1).fault_specifications()
+        """The scenario's fault lines, derived from a built study.
+
+        Covers both the per-machine fault specifications (state-triggered
+        faults, including network faults) and the study's scheduled
+        network-fault timeline, so the README scenario table shows the
+        complete fault surface.
+        """
+        study = self.build(experiments=1)
+        specifications = study.fault_specifications()
         lines: list[str] = []
         for nickname in sorted(specifications):
             lines.extend(specifications[nickname].describe())
+        lines.extend(study.network.describe())
         return tuple(lines)
 
     def measure_names(self) -> tuple[str, ...]:

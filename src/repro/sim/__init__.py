@@ -14,8 +14,11 @@ paper's evaluation depends on:
 * an operating-system scheduler with a configurable timeslice and context
   switch cost (the dominant source of notification latency in Figures 3.2
   and 3.3),
-* a LAN with distinct delay profiles for intra-host IPC (shared memory) and
-  inter-host TCP/IP messages (Section 3.4's 20 us vs 150 us comparison).
+* a topology-aware LAN with distinct delay profiles for intra-host IPC
+  (shared memory) and inter-host TCP/IP messages (Section 3.4's 20 us vs
+  150 us comparison), whose per-link state can be mutated mid-experiment —
+  partitions, one-way outages, degradation, loss, duplication, reordering
+  (:mod:`repro.sim.topology`).
 
 Public entry points:
 
@@ -31,15 +34,26 @@ from repro.sim.kernel import EventHandle, SimKernel
 from repro.sim.network import (
     IPC_PROFILE,
     LAN_TCP_PROFILE,
+    DeliveryEvent,
     LinkProfile,
     Network,
     NetworkMessage,
+    NetworkModel,
 )
 from repro.sim.process import SimProcess
 from repro.sim.rng import RandomStreams
+from repro.sim.topology import (
+    LinkState,
+    NetworkConfig,
+    NetworkFaultKind,
+    NetworkFaultSpec,
+    ScheduledNetworkFault,
+    Topology,
+)
 
 __all__ = [
     "ClockParameters",
+    "DeliveryEvent",
     "Environment",
     "EventHandle",
     "HardwareClock",
@@ -47,10 +61,17 @@ __all__ = [
     "IPC_PROFILE",
     "LAN_TCP_PROFILE",
     "LinkProfile",
+    "LinkState",
     "Network",
+    "NetworkConfig",
+    "NetworkFaultKind",
+    "NetworkFaultSpec",
     "NetworkMessage",
+    "NetworkModel",
     "RandomStreams",
+    "ScheduledNetworkFault",
     "SchedulerConfig",
     "SimKernel",
     "SimProcess",
+    "Topology",
 ]

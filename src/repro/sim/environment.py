@@ -2,22 +2,30 @@
 
 An :class:`Environment` is one deployment of the distributed system under
 study plus the Loki runtime: a set of hosts (each with its own clock and
-scheduler), the processes placed on them, and the LAN connecting them.  The
-campaign runner builds a fresh environment for every experiment so that no
-state leaks between experiments.
+scheduler), the processes placed on them, and the topology-aware network
+connecting them.  The campaign runner builds a fresh environment for every
+experiment so that no state leaks between experiments.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
 from repro.errors import RuntimeConfigurationError, RuntimePhaseError
 from repro.sim.clock import ClockParameters, HardwareClock
 from repro.sim.host import Host, SchedulerConfig
 from repro.sim.kernel import SimKernel
-from repro.sim.network import IPC_PROFILE, LAN_TCP_PROFILE, LinkProfile, Network, NetworkMessage
+from repro.sim.network import (
+    IPC_PROFILE,
+    LAN_TCP_PROFILE,
+    DeliveryEvent,
+    LinkProfile,
+    NetworkMessage,
+    NetworkModel,
+)
 from repro.sim.process import SimProcess
 from repro.sim.rng import RandomStreams
+from repro.sim.topology import NetworkConfig, Topology
 
 
 class Environment:
@@ -29,28 +37,35 @@ class Environment:
         default_scheduler: SchedulerConfig | None = None,
         ipc_profile: LinkProfile = IPC_PROFILE,
         lan_profile: LinkProfile = LAN_TCP_PROFILE,
+        network: NetworkConfig | None = None,
     ) -> None:
         self.kernel = SimKernel()
         self.streams = RandomStreams(seed)
-        self.network = Network(self.kernel, self.streams, default_profile=lan_profile)
-        self._ipc_profile = ipc_profile
-        self._lan_profile = lan_profile
+        topology = Topology(ipc_profile=ipc_profile, default_profile=lan_profile)
+        if network is not None:
+            for source_host, destination_host, profile in network.link_profiles:
+                topology.set_profile(source_host, destination_host, profile)
+        self.network = NetworkModel(self.kernel, self.streams, topology=topology)
         self._default_scheduler = default_scheduler or SchedulerConfig()
         self._hosts: dict[str, Host] = {}
         self._processes: dict[str, SimProcess] = {}
         self._termination_listeners: list[Callable[[SimProcess, bool], None]] = []
-        self._undeliverable: list[tuple[str, str]] = []
         self._dispatch_floor: dict[tuple[str, str], float] = {}
 
     @property
+    def topology(self) -> Topology:
+        """The network topology of this deployment."""
+        return self.network.topology
+
+    @property
     def ipc_profile(self) -> LinkProfile:
-        """Delay profile used for messages between processes on the same host."""
-        return self._ipc_profile
+        """Default delay profile for messages between processes on one host."""
+        return self.topology.ipc_profile
 
     @property
     def lan_profile(self) -> LinkProfile:
-        """Delay profile used for messages between processes on different hosts."""
-        return self._lan_profile
+        """Default delay profile for messages between processes on different hosts."""
+        return self.topology.default_profile
 
     # -- hosts ---------------------------------------------------------------
 
@@ -60,9 +75,21 @@ class Environment:
         clock: ClockParameters | HardwareClock | None = None,
         scheduler: SchedulerConfig | None = None,
     ) -> Host:
-        """Create and register a host."""
+        """Create and register a host.
+
+        Host names must be unique and must not contain ``"/"`` (the
+        endpoint separator); violations raise
+        :class:`~repro.errors.RuntimeConfigurationError` instead of
+        silently shadowing or corrupting the routing tables.
+        """
+        if "/" in name:
+            raise RuntimeConfigurationError(
+                f"host name {name!r} must not contain '/' (the endpoint separator)"
+            )
         if name in self._hosts:
-            raise RuntimeConfigurationError(f"host {name!r} already exists")
+            raise RuntimeConfigurationError(
+                f"host {name!r} already exists (hosts: {sorted(self._hosts)})"
+            )
         host = Host(
             name,
             self.kernel,
@@ -88,11 +115,25 @@ class Environment:
     # -- processes -----------------------------------------------------------
 
     def spawn(self, process: SimProcess, host_name: str, start_delay: float = 0.0) -> SimProcess:
-        """Place a process on a host and schedule its ``start`` callback."""
+        """Place a process on a host and schedule its ``start`` callback.
+
+        Process names must not contain ``"/"`` (the endpoint separator),
+        and a name can only be reused once its previous owner has
+        terminated (that reuse is how crashed nodes restart); a duplicate
+        live name raises :class:`~repro.errors.RuntimeConfigurationError`
+        instead of silently shadowing the running process.
+        """
         host = self.host(host_name)
-        if process.name in self._processes and self._processes[process.name].alive:
+        if "/" in process.name:
             raise RuntimeConfigurationError(
-                f"a live process named {process.name!r} already exists"
+                f"process name {process.name!r} must not contain '/' "
+                "(the endpoint separator)"
+            )
+        existing = self._processes.get(process.name)
+        if existing is not None and existing.alive:
+            raise RuntimeConfigurationError(
+                f"a live process named {process.name!r} already exists "
+                f"on host {existing.host.name!r}"
             )
         process._bind(self, host)
         host.attach_process(process)
@@ -146,22 +187,24 @@ class Environment:
     ) -> None:
         """Send ``payload`` from one named process to another.
 
-        The link profile is chosen automatically: IPC if both processes are
-        placed on the same host, LAN/TCP otherwise.  Delivery charges the
+        The link is resolved from the topology: the hosts of the two
+        processes select the intra-host IPC link or the inter-host link,
+        whose current :class:`~repro.sim.topology.LinkState` governs
+        delay, loss, duplication, reordering, and outages.  An explicit
+        ``profile`` replaces the link's delay/loss profile for this one
+        message (outages, duplication, and reordering still apply).
+        Delivery charges the
         destination host's scheduling delay before the receiving process's
-        ``receive`` method runs; messages to dead processes are dropped and
-        recorded in :attr:`undeliverable`.
+        ``receive`` method runs; messages to dead processes are dropped
+        and recorded as ``"dead-target"`` delivery events.
         """
         src = self._processes.get(source)
         dst = self._processes.get(destination)
         if src is None:
             raise RuntimePhaseError(f"unknown sender process {source!r}")
         if dst is None or not dst.alive:
-            self._undeliverable.append((source, destination))
+            self.network.record_event("dead-target", source, destination)
             return
-        if profile is None:
-            same_host = src._host is dst._host
-            profile = self._ipc_profile if same_host else self._lan_profile
         self.network.send(
             self.endpoint(source),
             self.endpoint(destination),
@@ -174,7 +217,7 @@ class Environment:
     def _deliver(self, destination: str, message: NetworkMessage) -> None:
         process = self._processes.get(destination)
         if process is None or not process.alive:
-            self._undeliverable.append((message.source, destination))
+            self.network.record_event("dead-target", message.source, destination)
             return
         delay = process.host.scheduling_delay()
         # A receiving process drains one connection's messages in arrival
@@ -189,14 +232,32 @@ class Environment:
     def _dispatch(self, destination: str, message: NetworkMessage) -> None:
         process = self._processes.get(destination)
         if process is None or not process.alive:
-            self._undeliverable.append((message.source, destination))
+            self.network.record_event("dead-target", message.source, destination)
             return
         process.receive(message)
 
     @property
+    def delivery_events(self) -> list[DeliveryEvent]:
+        """Every structured delivery event of the experiment, in time order.
+
+        Includes substrate faults (loss, partition, link outage,
+        duplication, reordering) recorded by the network model and the
+        environment's ``"dead-target"`` drops.
+        """
+        return list(self.network.events)
+
+    @property
     def undeliverable(self) -> list[tuple[str, str]]:
-        """(source, destination) pairs of messages dropped because the target was dead."""
-        return list(self._undeliverable)
+        """(source, destination) pairs of messages dropped because the target was dead.
+
+        Kept for compatibility; :attr:`delivery_events` carries the full
+        structured record (including substrate-level drops).
+        """
+        return [
+            (event.source, event.destination)
+            for event in self.network.events
+            if event.kind == "dead-target"
+        ]
 
     # -- execution -----------------------------------------------------------
 

@@ -1,0 +1,590 @@
+"""Topology-aware network substrate: named links with mutable state.
+
+The original substrate modelled exactly two static link profiles (intra-host
+IPC and inter-host LAN/TCP) over an implicitly fully connected, always
+healthy network.  This module makes the network a first-class object: a
+:class:`Topology` holds one directed link per host pair (plus the intra-host
+IPC link of every host), each link carrying a mutable :class:`LinkState`
+over its :class:`~repro.sim.network.LinkProfile`.  Link state can change at
+runtime — partitions, asymmetric outages, degradation, loss, duplication,
+reordering — which turns the canonical distributed-systems fault classes
+into schedulable, state-triggerable faults (see
+:class:`NetworkFaultSpec` and :mod:`repro.core.specs.fault_spec`).
+
+The default topology (no overrides, no mutations) reproduces the old
+behaviour *bit for bit*: the same links resolve to the same profiles and the
+delivery engine consumes the random stream in exactly the same order, so
+every pre-existing scenario keeps its campaign measures unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import RuntimeConfigurationError, SpecificationError
+from repro.sim.network import IPC_PROFILE, LAN_TCP_PROFILE, LinkProfile
+
+
+def host_of(endpoint: str) -> str:
+    """The host part of a ``"host/process"`` endpoint (the whole string if bare)."""
+    return endpoint.split("/", 1)[0]
+
+
+@dataclass
+class LinkState:
+    """Mutable state of one directed link.
+
+    Attributes
+    ----------
+    name:
+        Human-readable link name, e.g. ``"hosta->hostb"`` (or
+        ``"hosta->hosta"`` for the intra-host IPC link).
+    profile:
+        The delay/loss profile currently governing the link.  Degrading a
+        link replaces the profile; healing restores the original.
+    up:
+        Whether the link carries traffic at all.  ``False`` models a hard
+        (possibly one-way) link outage.
+    duplicate_probability:
+        Probability that a delivered message is delivered a second time
+        (with an independently sampled second delay).
+    reorder_probability:
+        Probability that a message bypasses the per-connection FIFO floor
+        and is delayed by an extra uniform draw from ``reorder_window``,
+        allowing later messages to overtake it.
+    reorder_window:
+        Width (seconds) of the extra delay drawn for reordered messages.
+    """
+
+    name: str
+    profile: LinkProfile
+    up: bool = True
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    reorder_window: float = 0.0
+
+    #: The profile the link was created with (what ``heal`` restores).
+    default_profile: LinkProfile = field(default=None, repr=False)  # type: ignore[assignment]
+
+    #: Identity tokens of the latest outage / degradation, used by the
+    #: auto-undo timers: an expiry only reverts the mutation that armed it,
+    #: never a newer one (mirrors the partition tokens).
+    down_token: object | None = field(default=None, repr=False, compare=False)
+    profile_token: object | None = field(default=None, repr=False, compare=False)
+    #: What the pending timed degrade will restore: the profile from
+    #: *before* the degrade chain started (overlapping timed degrades must
+    #: not snapshot each other's degraded profiles as the restore target).
+    restore_profile: LinkProfile | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.default_profile is None:
+            self.default_profile = self.profile
+
+    def restore(self) -> None:
+        """Bring the link back to its pristine state."""
+        self.profile = self.default_profile
+        self.up = True
+        self.duplicate_probability = 0.0
+        self.reorder_probability = 0.0
+        self.reorder_window = 0.0
+        self.down_token = None
+        self.profile_token = None
+        self.restore_profile = None
+
+
+class Partition:
+    """One active partition: host groups whose cross-traffic is cut.
+
+    Instances are compared by *identity* — two partitions over the same
+    groups are distinct objects — so an auto-heal timer holding one as its
+    token can never remove a newer, identical-looking partition installed
+    after a heal.
+    """
+
+    __slots__ = ("groups",)
+
+    def __init__(self, groups: tuple[frozenset[str], ...]) -> None:
+        self.groups = groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        rendered = " | ".join("{" + ", ".join(sorted(group)) + "}" for group in self.groups)
+        return f"Partition({rendered})"
+
+
+class Topology:
+    """Named directed links between hosts, plus per-host IPC links.
+
+    Links are created lazily with the topology's default profiles (the IPC
+    profile for ``host -> same host``, the inter-host profile otherwise), so
+    a topology with no explicit configuration behaves exactly like the old
+    fully connected network.  Partitions are tracked separately from
+    individual link outages: traffic between two hosts flows only when the
+    (directed) link is up *and* no active partition separates them.
+    """
+
+    def __init__(
+        self,
+        ipc_profile: LinkProfile = IPC_PROFILE,
+        default_profile: LinkProfile = LAN_TCP_PROFILE,
+    ) -> None:
+        self.ipc_profile = ipc_profile
+        self.default_profile = default_profile
+        self._links: dict[tuple[str, str], LinkState] = {}
+        self._partitions: list[Partition] = []
+
+    # -- links -----------------------------------------------------------------
+
+    def link(self, source_host: str, destination_host: str) -> LinkState:
+        """The directed link from one host to another (lazily created)."""
+        key = (source_host, destination_host)
+        state = self._links.get(key)
+        if state is None:
+            profile = (
+                self.ipc_profile
+                if source_host == destination_host
+                else self.default_profile
+            )
+            state = LinkState(
+                name=f"{source_host}->{destination_host}", profile=profile
+            )
+            self._links[key] = state
+        return state
+
+    def links(self) -> dict[tuple[str, str], LinkState]:
+        """Every link instantiated so far, keyed by (source, destination) host."""
+        return dict(self._links)
+
+    def set_profile(
+        self,
+        source_host: str,
+        destination_host: str,
+        profile: LinkProfile,
+        symmetric: bool = False,
+    ) -> None:
+        """Pin the profile of one directed link (both directions if symmetric).
+
+        Also becomes the link's *default* profile, i.e. what ``heal``
+        restores — use this for static topology configuration, and
+        :meth:`LinkState.profile` assignment (via ``degrade``) for runtime
+        degradation.
+        """
+        for src, dst in self._directions(source_host, destination_host, symmetric):
+            link = self.link(src, dst)
+            link.profile = profile
+            link.default_profile = profile
+
+    @staticmethod
+    def _directions(
+        source_host: str, destination_host: str, symmetric: bool
+    ) -> tuple[tuple[str, str], ...]:
+        if symmetric and source_host != destination_host:
+            return ((source_host, destination_host), (destination_host, source_host))
+        return ((source_host, destination_host),)
+
+    def links_for(
+        self, source_host: str, destination_host: str, symmetric: bool = True
+    ) -> list[LinkState]:
+        """The link(s) a mutation addresses: one directed link, or both.
+
+        The public seam the delivery engine's mutation API goes through
+        (``symmetric=False`` selects only the ``source -> destination``
+        direction, modelling one-way failures).
+        """
+        return [
+            self.link(src, dst)
+            for src, dst in self._directions(source_host, destination_host, symmetric)
+        ]
+
+    # -- connectivity ----------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> Partition:
+        """Cut all traffic between hosts that lie in different groups.
+
+        Hosts not named in any group are unaffected.  Returns the
+        :class:`Partition` as an identity token, which
+        :meth:`remove_partition` accepts (used for auto-healing after a
+        duration).
+        """
+        frozen = tuple(frozenset(group) for group in groups)
+        if len(frozen) < 2:
+            raise RuntimeConfigurationError(
+                "a partition needs at least two groups of hosts"
+            )
+        token = Partition(frozen)
+        self._partitions.append(token)
+        return token
+
+    def remove_partition(self, token: Partition) -> bool:
+        """Remove one partition previously installed by :meth:`partition`.
+
+        Matching is by identity: a stale auto-heal timer whose partition
+        was already removed (e.g. by a global heal) is a no-op even if an
+        identical-looking partition has been installed since.  Returns
+        whether the partition was still active.
+        """
+        for index, active in enumerate(self._partitions):
+            if active is token:
+                del self._partitions[index]
+                return True
+        return False
+
+    def clear_partitions(self) -> None:
+        """Remove every active partition (link states are left untouched)."""
+        self._partitions.clear()
+
+    def heal(self) -> None:
+        """Remove every partition and restore every link to pristine state."""
+        self._partitions.clear()
+        for link in self._links.values():
+            link.restore()
+
+    def is_partitioned(self, source_host: str, destination_host: str) -> bool:
+        """Whether an active partition separates the two hosts."""
+        for active in self._partitions:
+            source_group = None
+            destination_group = None
+            for index, group in enumerate(active.groups):
+                if source_host in group:
+                    source_group = index
+                if destination_host in group:
+                    destination_group = index
+            if (
+                source_group is not None
+                and destination_group is not None
+                and source_group != destination_group
+            ):
+                return True
+        return False
+
+    def blocked_reason(
+        self,
+        source_host: str,
+        destination_host: str,
+        link: LinkState | None = None,
+    ) -> str | None:
+        """Why traffic cannot flow right now (``None`` when it can).
+
+        Checks the directed link's up flag first, then active partitions,
+        and draws no randomness — connectivity is a pure function of the
+        topology state.  ``link`` lets a caller that already resolved the
+        directed link (the per-message hot path) skip the second lookup.
+        """
+        if link is None:
+            link = self.link(source_host, destination_host)
+        if not link.up:
+            return "link-down"
+        if self.is_partitioned(source_host, destination_host):
+            return "partitioned"
+        return None
+
+    @property
+    def partitions(self) -> tuple[tuple[frozenset[str], ...], ...]:
+        """The currently active partitions' host groups."""
+        return tuple(active.groups for active in self._partitions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Topology(links={sorted(self._links)}, "
+            f"partitions={len(self._partitions)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Network fault specifications
+# ---------------------------------------------------------------------------
+
+
+class NetworkFaultKind(enum.Enum):
+    """The mutation a network fault performs on the topology."""
+
+    PARTITION = "partition"
+    HEAL = "heal"
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    DEGRADE = "degrade"
+    SET_LOSS = "set_loss"
+    SET_DUPLICATE = "set_duplicate"
+    SET_REORDER = "set_reorder"
+
+
+#: Kinds that operate on a single (directed) link.
+_LINK_KINDS = frozenset(
+    {
+        NetworkFaultKind.LINK_DOWN,
+        NetworkFaultKind.LINK_UP,
+        NetworkFaultKind.DEGRADE,
+        NetworkFaultKind.SET_LOSS,
+        NetworkFaultKind.SET_DUPLICATE,
+        NetworkFaultKind.SET_REORDER,
+    }
+)
+
+#: Kinds that accept a probability argument.
+_PROBABILITY_KINDS = frozenset(
+    {
+        NetworkFaultKind.SET_LOSS,
+        NetworkFaultKind.SET_DUPLICATE,
+        NetworkFaultKind.SET_REORDER,
+    }
+)
+
+#: Kinds whose mutation can be automatically undone after a duration.
+_DURATION_KINDS = frozenset(
+    {
+        NetworkFaultKind.PARTITION,
+        NetworkFaultKind.LINK_DOWN,
+        NetworkFaultKind.DEGRADE,
+    }
+)
+
+
+#: Characters (and one literal word) the network-fault token grammar uses
+#: as delimiters; host names referenced by a spec must avoid them so the
+#: token round-trips losslessly.
+_TOKEN_DELIMITERS = ("+", "|", ";", "=", "[", "]", "->", " ")
+
+
+def _check_token_safe_host(host: str) -> None:
+    if not host or host == "one-way" or any(d in host for d in _TOKEN_DELIMITERS):
+        raise SpecificationError(
+            f"host name {host!r} cannot be referenced by a network fault: "
+            "names must be non-empty, must not be the literal 'one-way', and "
+            f"must not contain any of {' '.join(_TOKEN_DELIMITERS)!r}"
+        )
+
+
+@dataclass(frozen=True)
+class NetworkFaultSpec:
+    """One declarative network mutation.
+
+    The same specification is usable two ways: attached to a
+    :class:`~repro.core.specs.fault_spec.FaultDefinition` it becomes a
+    state-triggered network fault (injected by the fault parser exactly
+    like a crash fault), and wrapped in a :class:`ScheduledNetworkFault`
+    it fires at a fixed virtual time after experiment start.
+
+    Attributes
+    ----------
+    kind:
+        The mutation to perform.
+    groups:
+        For ``PARTITION``: the host groups to separate.
+    link:
+        For link-level kinds: the ``(source_host, destination_host)`` pair.
+    symmetric:
+        For link-level kinds: whether the mutation applies in both
+        directions (``False`` models asymmetric/one-way failures).
+    profile:
+        For ``DEGRADE``: the replacement link profile.
+    probability:
+        For ``SET_LOSS`` / ``SET_DUPLICATE`` / ``SET_REORDER``.
+    window:
+        For ``SET_REORDER``: width of the extra delay for reordered
+        messages, in seconds.
+    duration:
+        Optional, for ``PARTITION`` / ``LINK_DOWN`` / ``DEGRADE`` only:
+        automatically undo the mutation (heal the partition, bring the
+        link back up, restore the previous profile) this many simulated
+        seconds after it is applied; other kinds reject it.  Each expiry
+        is token-guarded: it only reverts the mutation that armed it,
+        never a newer one.
+    """
+
+    kind: NetworkFaultKind
+    groups: tuple[tuple[str, ...], ...] = ()
+    link: tuple[str, str] | None = None
+    symmetric: bool = True
+    profile: LinkProfile | None = None
+    probability: float | None = None
+    window: float = 0.0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is NetworkFaultKind.PARTITION:
+            if len(self.groups) < 2:
+                raise SpecificationError(
+                    "a partition fault needs at least two host groups"
+                )
+            for group in self.groups:
+                for host in group:
+                    _check_token_safe_host(host)
+        elif self.kind in _LINK_KINDS:
+            if self.link is None:
+                raise SpecificationError(
+                    f"network fault kind {self.kind.value!r} needs a (source, destination) link"
+                )
+            for host in self.link:
+                _check_token_safe_host(host)
+        if self.kind is NetworkFaultKind.DEGRADE and self.profile is None:
+            raise SpecificationError("a degrade fault needs a replacement LinkProfile")
+        if self.kind in _PROBABILITY_KINDS:
+            if self.probability is None or not 0.0 <= self.probability <= 1.0:
+                raise SpecificationError(
+                    f"network fault kind {self.kind.value!r} needs a probability in [0, 1]"
+                )
+        if self.kind is NetworkFaultKind.SET_REORDER and self.window <= 0.0:
+            raise SpecificationError("a reorder fault needs a positive window")
+        if self.duration is not None:
+            if self.kind not in _DURATION_KINDS:
+                raise SpecificationError(
+                    f"network fault kind {self.kind.value!r} does not support a "
+                    "duration (only partition, link_down, and degrade auto-undo)"
+                )
+            if self.duration <= 0.0:
+                raise SpecificationError("a network fault duration must be positive")
+
+    # -- textual form ------------------------------------------------------------
+
+    def to_token(self) -> str:
+        """Render as the single space-free token used in fault-spec lines.
+
+        The token round-trips through :meth:`from_token`, so fault
+        specifications carrying network faults keep the parse/format
+        symmetry of the textual format (and the token is stable, making it
+        safe for store fingerprints and the README scenario table).
+        """
+        parts: list[str] = []
+        if self.kind is NetworkFaultKind.PARTITION:
+            parts.append("|".join("+".join(group) for group in self.groups))
+        elif self.link is not None:
+            parts.append(f"{self.link[0]}->{self.link[1]}")
+            if not self.symmetric:
+                parts.append("one-way")
+        if self.profile is not None:
+            parts.append(f"base={self.profile.base_delay!r}")
+            parts.append(f"jitter={self.profile.jitter_mean!r}")
+            parts.append(f"loss={self.profile.loss_probability!r}")
+        if self.probability is not None:
+            parts.append(f"p={self.probability!r}")
+        if self.kind is NetworkFaultKind.SET_REORDER:
+            parts.append(f"window={self.window!r}")
+        if self.duration is not None:
+            parts.append(f"duration={self.duration!r}")
+        body = ";".join(parts)
+        return f"network:{self.kind.value}[{body}]" if body else f"network:{self.kind.value}"
+
+    @classmethod
+    def from_token(cls, token: str) -> "NetworkFaultSpec":
+        """Parse a token produced by :meth:`to_token`."""
+        if not token.startswith("network:"):
+            raise SpecificationError(f"not a network fault token: {token!r}")
+        rest = token[len("network:") :]
+        body = ""
+        if "[" in rest:
+            if not rest.endswith("]"):
+                raise SpecificationError(f"malformed network fault token: {token!r}")
+            rest, body = rest.split("[", 1)
+            body = body[:-1]
+        try:
+            kind = NetworkFaultKind(rest)
+        except ValueError:
+            raise SpecificationError(
+                f"unknown network fault kind {rest!r} in token {token!r}"
+            ) from None
+        groups: tuple[tuple[str, ...], ...] = ()
+        link: tuple[str, str] | None = None
+        symmetric = True
+        probability: float | None = None
+        window = 0.0
+        duration: float | None = None
+        profile_parts: dict[str, float] = {}
+        for part in filter(None, body.split(";")):
+            if part == "one-way":
+                symmetric = False
+            elif "->" in part and "=" not in part:
+                source, _, destination = part.partition("->")
+                link = (source, destination)
+            elif "=" in part:
+                key, _, value = part.partition("=")
+                if key in ("base", "jitter", "loss"):
+                    profile_parts[key] = float(value)
+                elif key == "p":
+                    probability = float(value)
+                elif key == "window":
+                    window = float(value)
+                elif key == "duration":
+                    duration = float(value)
+                else:
+                    raise SpecificationError(
+                        f"unknown network fault argument {key!r} in token {token!r}"
+                    )
+            elif kind is NetworkFaultKind.PARTITION:
+                groups = tuple(
+                    tuple(host for host in group.split("+") if host)
+                    for group in part.split("|")
+                )
+            else:
+                raise SpecificationError(
+                    f"unexpected network fault argument {part!r} in token {token!r}"
+                )
+        profile = None
+        if profile_parts:
+            profile = LinkProfile(
+                base_delay=profile_parts.get("base", 0.0),
+                jitter_mean=profile_parts.get("jitter", 0.0),
+                loss_probability=profile_parts.get("loss", 0.0),
+            )
+        return cls(
+            kind=kind,
+            groups=groups,
+            link=link,
+            symmetric=symmetric,
+            profile=profile,
+            probability=probability,
+            window=window,
+            duration=duration,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Study-level network configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduledNetworkFault:
+    """A network mutation fired at a fixed time after experiment start.
+
+    ``at`` is measured in simulated seconds from the end of the
+    pre-experiment synchronization mini-phase (the instant the application
+    starts), so schedules are insensitive to the sync phase's duration.
+    """
+
+    at: float
+    spec: NetworkFaultSpec
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0.0:
+            raise SpecificationError("a scheduled network fault cannot fire before start")
+
+    def describe(self) -> str:
+        """One stable line for scenario metadata and fingerprints."""
+        label = self.name or "net"
+        return f"{label} @{self.at!r}s {self.spec.to_token()}"
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """The declarative network model of one study.
+
+    ``link_profiles`` pins profiles for specific directed host pairs (the
+    remaining links keep the study's IPC/LAN defaults); ``schedule`` lists
+    the timer-driven network faults.  State-triggered network faults live
+    on :class:`~repro.core.specs.fault_spec.FaultDefinition` instead, next
+    to the crash faults they generalize.  The whole object has a stable
+    ``repr`` and is part of the study fingerprint, so archived campaigns
+    are invalidated when the network model changes.
+    """
+
+    link_profiles: tuple[tuple[str, str, LinkProfile], ...] = ()
+    schedule: tuple[ScheduledNetworkFault, ...] = ()
+
+    def __iter__(self) -> Iterator[ScheduledNetworkFault]:
+        return iter(self.schedule)
+
+    def describe(self) -> tuple[str, ...]:
+        """One line per scheduled fault (for scenario metadata tables)."""
+        return tuple(item.describe() for item in self.schedule)

@@ -41,10 +41,17 @@ from repro.core.specs.fault_spec import (
 from repro.core.timeline import LocalTimeline, RecordKind, TimelineRecord
 from repro.errors import StoreIntegrityError
 from repro.sim.clock import ClockParameters
+from repro.sim.topology import NetworkFaultSpec
 
 #: Version stamp embedded in every record line; bumped on any change that
-#: an old reader could misinterpret.
-RECORD_FORMAT_VERSION = 1
+#: an old reader could misinterpret.  Version 2 added an optional fourth
+#: element (the ``network:`` fault token) to each fault entry, which a
+#: version-1 reader would crash unpacking — hence the bump.
+RECORD_FORMAT_VERSION = 2
+
+#: Versions this reader can decode.  Version-1 records (three-element
+#: fault entries, no network faults) remain fully readable.
+READABLE_FORMAT_VERSIONS = frozenset({1, RECORD_FORMAT_VERSION})
 
 
 def _canonical(payload: dict) -> str:
@@ -75,6 +82,7 @@ def timeline_to_dict(timeline: LocalTimeline) -> dict:
         "events": list(timeline.events),
         "faults": [
             [fault.name, fault.expression.to_text(), fault.trigger.value]
+            + ([fault.network.to_token()] if fault.network is not None else [])
             for fault in timeline.faults
         ],
         "records": [
@@ -96,11 +104,14 @@ def timeline_from_dict(data: dict) -> LocalTimeline:
     """Rebuild a :class:`LocalTimeline` from :func:`timeline_to_dict` output."""
     faults = FaultSpecification.from_definitions(
         FaultDefinition(
-            name=name,
-            expression=parse_expression(expression),
-            trigger=FaultTrigger(trigger),
+            name=entry[0],
+            expression=parse_expression(entry[1]),
+            trigger=FaultTrigger(entry[2]),
+            # Entry 3 (optional, absent in pre-topology records) is the
+            # network fault token of a topology-mutating fault.
+            network=NetworkFaultSpec.from_token(entry[3]) if len(entry) > 3 else None,
         )
-        for name, expression, trigger in data["faults"]
+        for entry in data["faults"]
     )
     timeline = LocalTimeline(
         machine=data["machine"],
@@ -214,10 +225,10 @@ def decode_record(line: str) -> ExperimentResult:
         raise StoreIntegrityError(f"unparsable record line: {error}") from None
     if not isinstance(envelope, dict) or "payload" not in envelope:
         raise StoreIntegrityError("record line is not a store envelope")
-    if envelope.get("format") != RECORD_FORMAT_VERSION:
+    if envelope.get("format") not in READABLE_FORMAT_VERSIONS:
         raise StoreIntegrityError(
             f"unsupported record format {envelope.get('format')!r} "
-            f"(this reader understands {RECORD_FORMAT_VERSION})"
+            f"(this reader understands {sorted(READABLE_FORMAT_VERSIONS)})"
         )
     payload = envelope["payload"]
     digest = _checksum(payload)

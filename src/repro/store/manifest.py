@@ -35,6 +35,7 @@ from typing import Mapping
 
 from repro.core.campaign import CampaignConfig, StudyConfig
 from repro.errors import StoreIntegrityError
+from repro.sim.topology import NetworkConfig
 
 #: Version stamp of the manifest schema.
 MANIFEST_FORMAT_VERSION = 1
@@ -89,7 +90,7 @@ def study_description(study: StudyConfig) -> dict:
     feeds measure-phase estimators (re-weighting an archived campaign is
     exactly the kind of re-analysis the store exists to make free).
     """
-    return {
+    description = {
         "name": study.name,
         "seed": study.seed,
         "experiment_timeout": study.experiment_timeout,
@@ -108,6 +109,16 @@ def study_description(study: StudyConfig) -> dict:
         ],
         "nodes": [_node_description(node) for node in study.nodes],
     }
+    # The network model: link-profile overrides and the scheduled
+    # network-fault timeline.  (State-triggered network faults are already
+    # covered through each node's fault lines.)  The key is omitted for
+    # the no-op default so studies that never touch the network model keep
+    # their pre-topology fingerprints — archives written before the
+    # topology layer stay resumable — while any real network configuration
+    # invalidates them.
+    if study.network != NetworkConfig():
+        description["network"] = repr(study.network)
+    return description
 
 
 def study_fingerprint(study: StudyConfig) -> str:
