@@ -1,10 +1,19 @@
 """Setuptools shim so editable installs work in offline environments.
 
-The canonical metadata lives in pyproject.toml; this file only enables
-``pip install -e . --no-use-pep517`` on machines without the ``wheel``
-package or network access to fetch build dependencies.
+This file carries the minimal metadata needed for ``pip install -e .`` on
+machines without network access to fetch build dependencies.  The
+``py.typed`` marker ships with the package (PEP 561) so downstream type
+checkers see the inline annotations — mypy runs strict over the
+deterministic core (``sim/``, ``store/``, ``analysis/``; see ``mypy.ini``)
+in the CI lint job.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.11",
+)

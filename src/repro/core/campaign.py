@@ -222,6 +222,7 @@ class CampaignResult:
     def all_experiments(self) -> list[ExperimentResult]:
         """Every experiment of every study."""
         experiments: list[ExperimentResult] = []
+        # repro-lint: disable=R003 studies dict is filled in config order, which is stable
         for study in self.studies.values():
             experiments.extend(study.experiments)
         return experiments

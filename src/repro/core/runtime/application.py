@@ -14,10 +14,10 @@ components, timers, the local clock, and crash/exit.
 
 from __future__ import annotations
 
-import random
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.probe import Probe
+from repro.sim.rng import RandomStream
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.core.runtime.node import LokiNodeProcess
@@ -83,8 +83,13 @@ class NodeContext:
         return self._node.definition.arguments
 
     @property
-    def random(self) -> random.Random:
-        """A per-node deterministic random stream for application use."""
+    def random(self) -> RandomStream:
+        """A per-node deterministic random stream for application use.
+
+        The stream is derived from the experiment seed by the node's
+        :class:`~repro.sim.rng.RandomStreams` factory — never ambient
+        :mod:`random` state — so application draws are reproducible.
+        """
         return self._node.application_rng
 
     @property

@@ -212,6 +212,7 @@ class ExperimentContext:
 
     def node_file_entries(self) -> tuple[NodeFileEntry, ...]:
         """The node file used by the central daemon at experiment start."""
+        # repro-lint: disable=R003 definition order comes from the study config and is stable
         return tuple(defn.node_file_entry() for defn in self.node_definitions.values())
 
     def spawn_node(self, nickname: str, host: str, is_restart: bool | None = None) -> "LokiNodeProcess":

@@ -9,7 +9,6 @@ can both be addressed by nickname.
 
 from __future__ import annotations
 
-import random
 from typing import Any
 
 from repro.core.faults import FaultParser
@@ -22,6 +21,7 @@ from repro.core.runtime.transport import DaemonRoutedTransport, DirectTransport
 from repro.core.statemachine import StateMachine
 from repro.sim.network import NetworkMessage
 from repro.sim.process import SimProcess
+from repro.sim.rng import RandomStream
 
 
 class LokiNodeProcess(SimProcess):
@@ -38,7 +38,12 @@ class LokiNodeProcess(SimProcess):
         self.context = context
         self.is_restart = is_restart
         self.application = definition.application_factory()
-        self.application_rng: random.Random = random.Random()
+        # The application's stream is derived from the experiment seed by
+        # the environment's RandomStreams factory (named per node and per
+        # start/restart generation), never from ambient random state.
+        self.application_rng: RandomStream = context.environment.streams.stream(
+            f"app:{definition.nickname}:{'restart' if is_restart else 'start'}"
+        )
         self.state_machine: StateMachine | None = None
         self.probe: ApplicationProbe | None = None
         self.fault_parser: FaultParser | None = None
@@ -51,9 +56,6 @@ class LokiNodeProcess(SimProcess):
 
     def start(self) -> None:
         """Assemble the runtime components and run the application's main."""
-        self.application_rng = self.context.environment.streams.stream(
-            f"app:{self.name}:{'restart' if self.is_restart else 'start'}"
-        )
         timeline = self.context.timeline_store.get_or_create(
             machine=self.name,
             all_machines=self.context.machine_names,

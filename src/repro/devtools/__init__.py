@@ -1,0 +1,11 @@
+"""Developer tooling: static enforcement of the reproducibility contracts.
+
+Nothing in this package runs during a campaign.  It exists so that the
+determinism invariants the simulator's golden tests *observe* are also
+*enforced* at review time: :mod:`repro.devtools.lint` is an AST-based
+static-analysis pass wired into CI as a blocking job.
+
+Because this package is explicitly non-deterministic territory (it may
+time its own runs, read the filesystem, etc.), the lint rules allowlist
+``devtools`` itself wherever that matters.
+"""

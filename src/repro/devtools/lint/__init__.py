@@ -1,0 +1,30 @@
+"""AST-based determinism lint (``python -m repro.devtools.lint``).
+
+Public surface: :func:`run_lint` returns sorted
+:class:`~repro.devtools.lint.visitor.Diagnostic` findings for a set of
+paths; :data:`~repro.devtools.lint.rules.REGISTRY` enumerates the
+enforced contracts (R001 rng-discipline, R002 no-wall-clock, R003
+ordered-iteration, R004 fault-token-grammar, R005 record-format-sync).
+"""
+
+from repro.devtools.lint.cli import lint_file, main, run_lint
+from repro.devtools.lint.rules import REGISTRY, Rule, register
+from repro.devtools.lint.visitor import (
+    BAD_SUPPRESSION_ID,
+    SYNTAX_ERROR_ID,
+    Diagnostic,
+    FileContext,
+)
+
+__all__ = [
+    "BAD_SUPPRESSION_ID",
+    "Diagnostic",
+    "FileContext",
+    "REGISTRY",
+    "Rule",
+    "SYNTAX_ERROR_ID",
+    "lint_file",
+    "main",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,15 @@
+"""Make the lint runnable as ``python -m repro.devtools.lint``."""
+
+import os
+import sys
+
+from repro.devtools.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # The reader went away (e.g. ``... | head``).  Point stdout at
+        # /dev/null so interpreter shutdown doesn't raise again on flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

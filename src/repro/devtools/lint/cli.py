@@ -1,0 +1,168 @@
+"""Command-line entry point of the determinism lint.
+
+Run over the source tree (the CI lint job's exact invocation)::
+
+    PYTHONPATH=src python -m repro.devtools.lint src
+
+Every finding is printed as a clickable ``file:line:col: R00x message``
+line and the process exits nonzero, so the pass can gate a merge.  Rules
+are enumerated from the registry; ``--select`` narrows the run and
+``--list-rules`` documents what is enforced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.rules import REGISTRY, rules_for
+from repro.devtools.lint.visitor import (
+    SYNTAX_ERROR_ID,
+    Diagnostic,
+    FileContext,
+    LintVisitor,
+    apply_suppressions,
+    collect_docstring_ids,
+    parse_suppressions,
+)
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    """Every ``.py`` file under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            yield path
+
+
+def scope_parts(path: Path, root: Path) -> tuple[str, ...]:
+    """Path components used for rule scoping.
+
+    Files inside a ``repro`` package scope below the package (so
+    ``src/repro/sim/rng.py`` scopes as ``sim/rng.py`` no matter where the
+    scan started); anything else scopes relative to the scanned root,
+    which lets fixture trees mirror the package layout.
+    """
+    parts = path.parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        scoped = parts[anchor + 1 :]
+        if scoped:
+            return scoped
+    if root.is_dir():
+        try:
+            return path.relative_to(root).parts
+        except ValueError:  # pragma: no cover - defensive; rglob stays under root
+            pass
+    return (path.name,)
+
+
+def lint_file(
+    path: Path, root: Path, select: frozenset[str] | None = None
+) -> list[Diagnostic]:
+    """Lint one file: parse, traverse once, apply inline suppressions."""
+    display = str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=display,
+                line=error.lineno or 1,
+                column=error.offset or 1,
+                rule_id=SYNTAX_ERROR_ID,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=display,
+        parts=scope_parts(path, root),
+        tree=tree,
+        source=source,
+        docstring_ids=collect_docstring_ids(tree),
+    )
+    rules = rules_for(ctx, select)
+    if not rules:
+        return []
+    LintVisitor(rules).visit(tree)
+    for rule in rules:
+        rule.finish()
+    diagnostics = [diagnostic for rule in rules for diagnostic in rule.diagnostics]
+    suppressions, malformed = parse_suppressions(display, source)
+    return apply_suppressions(diagnostics, suppressions) + malformed
+
+
+def run_lint(
+    paths: Sequence[str | Path], select: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Lint files or directory trees; the programmatic API the tests use."""
+    selected = frozenset(select) if select is not None else None
+    diagnostics: list[Diagnostic] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(f"lint target does not exist: {root}")
+        for path in iter_python_files(root):
+            diagnostics.extend(lint_file(path, root, selected))
+    return sorted(diagnostics)
+
+
+def _format_rule_listing() -> str:
+    lines = ["Determinism contracts enforced by repro-lint:", ""]
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        lines.append(f"  {rule_id} {rule.name}")
+        lines.append(f"       {rule.description}")
+    lines.append("")
+    lines.append(
+        "Suppress one finding inline with: "
+        "# repro-lint: disable=R00x <reason why this is safe>"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based lint enforcing the repository's determinism contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.list_rules:
+        print(_format_rule_listing())
+        return 0
+    select = None
+    if arguments.select:
+        select = [rule_id.strip() for rule_id in arguments.select.split(",") if rule_id.strip()]
+        unknown = sorted(set(select) - set(REGISTRY))
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+    try:
+        diagnostics = run_lint(arguments.paths, select)
+    except FileNotFoundError as error:
+        parser.error(str(error))
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    if diagnostics:
+        print(f"repro-lint: {len(diagnostics)} finding(s)")
+        return 1
+    return 0

@@ -1,0 +1,271 @@
+"""Shared traversal and diagnostic machinery of the determinism lint.
+
+One :class:`LintVisitor` walks each module's AST exactly once and fans
+every node out to the active rules, so adding a rule never adds a
+traversal.  Rules are small classes (see :mod:`repro.devtools.lint.rules`)
+instantiated per file around a :class:`FileContext`; they report
+:class:`Diagnostic` findings with clickable ``file:line:col`` positions.
+
+Inline suppression
+------------------
+
+A finding can be waived on its own line with::
+
+    risky_call()  # repro-lint: disable=R002 virtual clock not available here
+
+or, when the flagged line is long, on its own line directly above it::
+
+    # repro-lint: disable=R003 insertion order is deterministic here
+    for link in self._links.values():
+        ...
+
+The comment names one or more rule ids (comma-separated) and **must**
+carry a free-text reason after the rule list; a reason-less suppression
+is itself a finding (rule ``R000``) and suppresses nothing.  Comments are
+located with :mod:`tokenize`, so suppression text inside string literals
+is never misparsed as a directive.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: Rule id attached to malformed suppression comments.
+BAD_SUPPRESSION_ID = "R000"
+
+#: Rule id attached to files the parser rejects outright.
+SYNTAX_ERROR_ID = "E999"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding, positioned so terminals render it as a clickable link."""
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` directive."""
+
+    line: int
+    rule_ids: frozenset[str]
+    reason: str
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about the file under analysis.
+
+    ``parts`` are the path components used for scope decisions (e.g. "is
+    this file under ``sim/``?"), normalized to start below the ``repro``
+    package when the file lives inside it, and below the scanned root
+    otherwise — so fixture trees mirroring the package layout scope
+    identically to the real tree.
+    """
+
+    path: str
+    parts: tuple[str, ...]
+    tree: ast.Module
+    source: str
+    docstring_ids: frozenset[int] = frozenset()
+
+    def in_directories(self, *names: str) -> bool:
+        """Whether any *directory* component of the path is one of ``names``."""
+        return any(part in names for part in self.parts[:-1])
+
+    def path_ends_with(self, *suffix: str) -> bool:
+        """Whether the scoped path ends with exactly these components."""
+        return self.parts[-len(suffix):] == suffix
+
+
+class Rule:
+    """Base class of one lint rule, instantiated per analyzed file.
+
+    Subclasses set ``rule_id``/``name``/``description``, implement
+    ``applies`` for path scoping, and define ``visit_<NodeType>`` hooks;
+    the shared :class:`LintVisitor` dispatches every AST node to every
+    matching hook.  ``finish`` runs after the traversal for whole-module
+    rules.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.diagnostics: list[Diagnostic] = []
+        self._seen: set[Diagnostic] = set()
+
+    def applies(self) -> bool:
+        """Whether this rule is in scope for the file (path-based)."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding at ``node``'s position (exact duplicates dropped)."""
+        diagnostic = Diagnostic(
+            path=self.ctx.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+        if diagnostic not in self._seen:
+            self._seen.add(diagnostic)
+            self.diagnostics.append(diagnostic)
+
+    def finish(self) -> None:
+        """Hook run once after the whole module has been traversed."""
+
+
+class ImportAliases:
+    """Tracks what local names were imported as, for attribute resolution.
+
+    Only names introduced by an ``import``/``from ... import`` statement
+    resolve; a plain local variable that happens to be called ``time``
+    never produces the dotted chain ``time.time``, keeping the wall-clock
+    and RNG rules free of that false positive.
+    """
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, str] = {}
+
+    def bind(self, local_name: str, target: str) -> None:
+        self._bindings[local_name] = target
+
+    def bind_import(self, alias: ast.alias) -> None:
+        """Record one ``import a.b.c [as x]`` binding."""
+        if alias.asname:
+            self._bindings[alias.asname] = alias.name
+        else:
+            root = alias.name.split(".", 1)[0]
+            self._bindings[root] = root
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """The dotted chain of an attribute access rooted at an import.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        when ``np`` was bound by ``import numpy as np``; returns ``None``
+        when the chain's root is not an imported name.
+        """
+        reversed_attrs: list[str] = []
+        while isinstance(node, ast.Attribute):
+            reversed_attrs.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name) or node.id not in self._bindings:
+            return None
+        reversed_attrs.append(self._bindings[node.id])
+        return ".".join(reversed(reversed_attrs))
+
+
+class LintVisitor(ast.NodeVisitor):
+    """Single traversal dispatching each node to every active rule."""
+
+    def __init__(self, rules: list[Rule]) -> None:
+        self._rules = rules
+
+    def visit(self, node: ast.AST) -> None:
+        hook_name = f"visit_{type(node).__name__}"
+        for rule in self._rules:
+            hook = getattr(rule, hook_name, None)
+            if hook is not None:
+                hook(node)
+        self.generic_visit(node)
+
+
+def collect_docstring_ids(tree: ast.Module) -> frozenset[int]:
+    """Identity set of every docstring constant in the module.
+
+    Rules that inspect string literals (the fault-token grammar check)
+    use this to skip documentation prose.
+    """
+    ids: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                ids.add(id(body[0].value))
+    return frozenset(ids)
+
+
+def parse_suppressions(path: str, source: str) -> tuple[list[Suppression], list[Diagnostic]]:
+    """Extract suppression directives and flag malformed ones.
+
+    Returns ``(suppressions, malformed)``: a directive without a reason
+    lands in ``malformed`` as an ``R000`` diagnostic and does not
+    suppress anything.
+    """
+    suppressions: list[Suppression] = []
+    malformed: list[Diagnostic] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse already ok
+        return suppressions, malformed
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        # A trailing comment waives findings on its own line; a standalone
+        # comment line waives findings on the line directly below it.
+        standalone = token.line.strip().startswith("#")
+        line = token.start[0] + 1 if standalone else token.start[0]
+        rule_ids = frozenset(
+            rule_id.strip() for rule_id in match.group("rules").split(",")
+        )
+        reason = match.group("reason").strip()
+        if not reason:
+            malformed.append(
+                Diagnostic(
+                    path=path,
+                    line=token.start[0],
+                    column=token.start[1] + 1,
+                    rule_id=BAD_SUPPRESSION_ID,
+                    message=(
+                        "suppression needs a reason: write "
+                        "'# repro-lint: disable="
+                        + ",".join(sorted(rule_ids))
+                        + " <why this is safe>'"
+                    ),
+                )
+            )
+            continue
+        suppressions.append(Suppression(line=line, rule_ids=rule_ids, reason=reason))
+    return suppressions, malformed
+
+
+def apply_suppressions(
+    diagnostics: list[Diagnostic], suppressions: list[Suppression]
+) -> list[Diagnostic]:
+    """Drop findings waived by a same-line suppression directive."""
+    by_line: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, set()).update(suppression.rule_ids)
+    return [
+        diagnostic
+        for diagnostic in diagnostics
+        if diagnostic.rule_id not in by_line.get(diagnostic.line, ())
+    ]

@@ -156,6 +156,7 @@ class Environment:
 
     def live_processes(self) -> list[SimProcess]:
         """Processes that are currently alive."""
+        # repro-lint: disable=R003 insertion-ordered registry; spawn order is deterministic
         return [p for p in self._processes.values() if p.alive]
 
     def process_terminated(self, process: SimProcess, crashed: bool) -> None:

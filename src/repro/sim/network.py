@@ -26,10 +26,10 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import RuntimeConfigurationError
 from repro.sim.kernel import SimKernel
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStream, RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology imports LinkProfile)
-    from repro.sim.topology import NetworkFaultSpec, Partition, Topology
+    from repro.sim.topology import LinkState, NetworkFaultSpec, Partition, Topology
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,7 @@ class LinkProfile:
         if not 0.0 <= self.loss_probability <= 1.0:
             raise RuntimeConfigurationError("loss probability must be within [0, 1]")
 
-    def sample_delay(self, rng) -> float:
+    def sample_delay(self, rng: RandomStream) -> float:
         """Draw one one-way delay from this profile."""
         delay = self.base_delay
         if self.jitter_mean > 0:
@@ -277,8 +277,8 @@ class NetworkModel:
         if duration is not None:
             self._kernel.schedule(duration, self._expire_link_down, links, token, label)
 
-    def _expire_link_down(self, links, token, label: str) -> None:
-        restored = []
+    def _expire_link_down(self, links: list[LinkState], token: object, label: str) -> None:
+        restored: list[str] = []
         for link in links:
             if link.down_token is token:
                 link.up = True
@@ -329,8 +329,8 @@ class NetworkModel:
             link.profile_token = token
         self._kernel.schedule(duration, self._expire_degrade, links, token, label)
 
-    def _expire_degrade(self, links, token, label: str) -> None:
-        restored = []
+    def _expire_degrade(self, links: list[LinkState], token: object, label: str) -> None:
+        restored: list[str] = []
         for link in links:
             if link.profile_token is token:
                 link.profile = link.restore_profile

@@ -9,7 +9,7 @@ experiments remain deterministic without coroutines or threads.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import RuntimePhaseError
 from repro.sim.kernel import EventHandle
@@ -104,13 +104,13 @@ class SimProcess:
         """Send a message to another process, addressed by process name."""
         self.environment.send(self.name, destination, payload, size_bytes=size_bytes)
 
-    def set_timer(self, delay: float, callback, *args: Any) -> EventHandle:
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule a local callback; it is cancelled if the process dies."""
         handle = self.environment.kernel.schedule(delay, self._fire_timer, callback, args)
         self._timers.append(handle)
         return handle
 
-    def _fire_timer(self, callback, args: tuple) -> None:
+    def _fire_timer(self, callback: Callable[..., None], args: tuple[Any, ...]) -> None:
         if self._alive:
             callback(*args)
 

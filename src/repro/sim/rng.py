@@ -13,6 +13,12 @@ import hashlib
 import random
 
 
+#: The type of one named stream.  Deterministic modules annotate injected
+#: streams with this alias instead of importing :mod:`random` themselves —
+#: this module is the only sanctioned importer (lint rule R001).
+RandomStream = random.Random
+
+
 class RandomStreams:
     """A factory of named, independently seeded ``random.Random`` streams.
 

@@ -237,6 +237,7 @@ class Topology:
     def heal(self) -> None:
         """Remove every partition and restore every link to pristine state."""
         self._partitions.clear()
+        # repro-lint: disable=R003 restore() is per-link and order-insensitive
         for link in self._links.values():
             link.restore()
 

@@ -83,7 +83,7 @@ class StoredStudyConfig:
     weight: float = 1.0
     faults_by_machine: Mapping[str, object] = field(default_factory=dict)
 
-    def fault_specifications(self) -> dict:
+    def fault_specifications(self) -> dict[str, object]:
         """Fault specification per state machine, as recorded in the timelines."""
         return dict(self.faults_by_machine)
 

@@ -54,12 +54,12 @@ RECORD_FORMAT_VERSION = 2
 READABLE_FORMAT_VERSIONS = frozenset({1, RECORD_FORMAT_VERSION})
 
 
-def _canonical(payload: dict) -> str:
+def _canonical(payload: dict[str, Any]) -> str:
     """The canonical encoding a record's checksum is computed over."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def _checksum(payload: dict) -> str:
+def _checksum(payload: dict[str, Any]) -> str:
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 
 
@@ -68,7 +68,7 @@ def _checksum(payload: dict) -> str:
 # ---------------------------------------------------------------------------
 
 
-def timeline_to_dict(timeline: LocalTimeline) -> dict:
+def timeline_to_dict(timeline: LocalTimeline) -> dict[str, Any]:
     """Map one local timeline to a JSON-serializable dictionary.
 
     Records are stored as compact six-element lists
@@ -100,7 +100,7 @@ def timeline_to_dict(timeline: LocalTimeline) -> dict:
     }
 
 
-def timeline_from_dict(data: dict) -> LocalTimeline:
+def timeline_from_dict(data: dict[str, Any]) -> LocalTimeline:
     """Rebuild a :class:`LocalTimeline` from :func:`timeline_to_dict` output."""
     faults = FaultSpecification.from_definitions(
         FaultDefinition(
@@ -140,7 +140,7 @@ def timeline_from_dict(data: dict) -> LocalTimeline:
 # ---------------------------------------------------------------------------
 
 
-def result_to_dict(result: ExperimentResult) -> dict:
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
     """Map one :class:`ExperimentResult` to a JSON-serializable dictionary."""
     return {
         "study": result.study,
@@ -168,7 +168,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
     }
 
 
-def result_from_dict(data: dict) -> ExperimentResult:
+def result_from_dict(data: dict[str, Any]) -> ExperimentResult:
     """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
     return ExperimentResult(
         study=data["study"],

@@ -31,11 +31,14 @@ import json
 import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.campaign import CampaignConfig, StudyConfig
 from repro.errors import StoreIntegrityError
 from repro.sim.topology import NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.runtime.context import NodeDefinition
 
 #: Version stamp of the manifest schema.
 MANIFEST_FORMAT_VERSION = 1
@@ -63,7 +66,7 @@ def repository_sha(start: Path | None = None) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _node_description(node) -> dict:
+def _node_description(node: "NodeDefinition") -> dict[str, Any]:
     specification = node.specification
     return {
         "nickname": node.nickname,
@@ -76,7 +79,7 @@ def _node_description(node) -> dict:
     }
 
 
-def study_description(study: StudyConfig) -> dict:
+def study_description(study: StudyConfig) -> dict[str, Any]:
     """The canonical declarative description a study's fingerprint hashes.
 
     Everything here is either a primitive or the ``repr`` of a frozen
@@ -153,7 +156,7 @@ class StudyManifest:
             hosts=study.host_names,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "seed": self.seed,
@@ -163,7 +166,7 @@ class StudyManifest:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "StudyManifest":
+    def from_dict(cls, data: dict[str, Any]) -> "StudyManifest":
         return cls(
             name=data["name"],
             seed=data["seed"],
@@ -191,7 +194,7 @@ class Manifest:
             studies={study.name: StudyManifest.of(study) for study in campaign.studies},
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "campaign": self.campaign,
             "git_sha": self.git_sha,
@@ -200,7 +203,7 @@ class Manifest:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Manifest":
+    def from_dict(cls, data: dict[str, Any]) -> "Manifest":
         if data.get("format_version") != MANIFEST_FORMAT_VERSION:
             raise StoreIntegrityError(
                 f"unsupported manifest format {data.get('format_version')!r} "

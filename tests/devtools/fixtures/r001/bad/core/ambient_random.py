@@ -1,0 +1,7 @@
+"""Bad: draws ambient randomness instead of the injected stream."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

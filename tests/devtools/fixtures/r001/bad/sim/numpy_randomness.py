@@ -1,0 +1,7 @@
+"""Bad: numpy's global RNG bypasses the seeded RandomStreams discipline."""
+
+import numpy as np
+
+
+def noise(count: int):
+    return np.random.default_rng().random(count)

@@ -1,0 +1,5 @@
+"""Good: applications draw from the per-node stream injected by the runtime."""
+
+
+def jitter(ctx) -> float:
+    return ctx.random.random()

@@ -1,0 +1,7 @@
+"""Good: the sanctioned stream-factory module is the one allowed importer."""
+
+import random
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,12 @@
+"""Bad: reads the ambient wall clock inside a deterministic module."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def label() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,7 @@
+"""Good: devtools are allowlisted — timing a lint run is not simulation state."""
+
+import time
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start

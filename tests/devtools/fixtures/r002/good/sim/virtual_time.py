@@ -1,0 +1,9 @@
+"""Good: deterministic code reads simulated time, never the host's clock."""
+
+
+def stamp(kernel) -> float:
+    return kernel.now
+
+
+def local_time(host) -> float:
+    return host.read_clock()

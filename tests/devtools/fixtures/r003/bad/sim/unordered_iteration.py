@@ -1,0 +1,8 @@
+"""Bad: iteration order of sets and dict views can feed the RNG/timeline."""
+
+
+def fan_out(targets, mapping):
+    for target in set(targets):
+        yield target
+    for value in mapping.values():
+        yield value

@@ -1,0 +1,12 @@
+"""Good: outside sim/, apps/, core/ the ordered-iteration rule is out of scope.
+
+Analysis-side code aggregates already-recorded results; iteration order
+there cannot feed the RNG or the timeline.
+"""
+
+
+def aggregate(samples):
+    total = 0.0
+    for sample in set(samples):
+        total += sample
+    return total

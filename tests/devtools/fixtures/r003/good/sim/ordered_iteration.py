@@ -1,0 +1,14 @@
+"""Good: unordered collections are sorted (or consumed order-insensitively)."""
+
+
+def fan_out(targets, mapping):
+    for target in sorted(set(targets)):
+        yield target
+    for key in sorted(mapping):
+        yield mapping[key]
+
+
+def summarize(targets, mapping) -> int:
+    if any(value is None for value in mapping.values()):
+        return 0
+    return len(set(targets))

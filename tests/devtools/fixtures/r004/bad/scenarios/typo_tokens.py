@@ -1,0 +1,5 @@
+"""Bad: typo'd fault grammar literals that would only fail mid-campaign."""
+
+PARTITION_TOKEN = "network:partiton[hosta|hostb]"
+
+SPEC = parse_fault_specification("F1 (A:B) sometimes\n")  # noqa: F821 - lint fixture

@@ -1,0 +1,9 @@
+"""Good: fault grammar literals that parse against the real grammars."""
+
+PARTITION_TOKEN = "network:partition[hosta|hostb+hostc;duration=0.08]"
+OUTAGE_TOKEN = "network:link_down[hosta->hostb;one-way;duration=0.05]"
+
+SPEC = parse_fault_specification(  # noqa: F821 - lint fixture
+    "F1 ((SM1:ELECT) & (SM2:FOLLOW)) always\n"
+    "NP1 (coordinator:PREPARE) once network:heal\n"
+)

@@ -1,0 +1,5 @@
+"""Bad: the reader silently dropped support for format version 2."""
+
+RECORD_FORMAT_VERSION = 3
+
+READABLE_FORMAT_VERSIONS = frozenset({1, RECORD_FORMAT_VERSION})

@@ -1,0 +1,5 @@
+"""Good: every version up to the current one stays decodable."""
+
+RECORD_FORMAT_VERSION = 3
+
+READABLE_FORMAT_VERSIONS = frozenset({1, 2, RECORD_FORMAT_VERSION})
