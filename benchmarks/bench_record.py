@@ -15,13 +15,16 @@ producers write here:
 * manually timed comparisons (e.g. the analysis-phase old-vs-new bench)
   call :func:`record_benchmark` directly — for ratios,
   :func:`record_speedup` stores the dimensionless factor under ``mean_s``.
+
+:func:`committed_mean` and :func:`assert_no_regression` read the gate side
+of the trajectory: what the *committed* file says a benchmark cost, so a
+CI job can block on a perf regression against the last recorded number.
 """
 
 from __future__ import annotations
 
 import json
 import subprocess
-from functools import lru_cache
 from pathlib import Path
 from typing import Iterable
 
@@ -29,9 +32,14 @@ from typing import Iterable
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_analysis.json"
 
 
-@lru_cache(maxsize=1)
 def git_sha() -> str:
-    """The short commit hash of the working tree, or ``"unknown"`` (cached)."""
+    """The short commit hash of the working tree, or ``"unknown"``.
+
+    Deliberately *not* cached: a benchmark session can span a commit (or
+    run right after one), and a cached session-start hash would stamp the
+    new timings with the old commit — every entry records the hash at the
+    moment it is written.
+    """
     try:
         output = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -77,3 +85,74 @@ def record_benchmark(
 def record_speedup(name: str, factor: float, runs: int, path: Path = BENCH_PATH) -> None:
     """Record a dimensionless speedup factor (stored under ``mean_s``)."""
     record_benchmark(name, factor, runs, path)
+
+
+# ---------------------------------------------------------------------------
+# Regression gating against the committed trajectory
+# ---------------------------------------------------------------------------
+
+
+def committed_trajectory(path: Path = BENCH_PATH) -> dict[str, dict]:
+    """The trajectory as committed (``HEAD``), not as on the working tree.
+
+    Falls back to the on-disk file outside a git checkout.  The
+    distinction matters because a benchmark session rewrites the working
+    file at session finish: a gate must compare against what the
+    repository *promised*, never against numbers the same session just
+    produced.
+    """
+    try:
+        output = subprocess.run(
+            ["git", "show", f"HEAD:{path.name}"],
+            cwd=path.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git
+        return load_trajectory(path)
+    if output.returncode != 0:  # not a checkout, or file not committed yet
+        return load_trajectory(path)
+    try:
+        data = json.loads(output.stdout)
+    except ValueError:  # pragma: no cover - committed file is valid JSON
+        return load_trajectory(path)
+    return data if isinstance(data, dict) else {}
+
+
+def committed_mean(name: str, path: Path = BENCH_PATH) -> float | None:
+    """The committed ``mean_s`` of one benchmark, or ``None`` if unrecorded."""
+    entry = committed_trajectory(path).get(name)
+    if not isinstance(entry, dict):
+        return None
+    mean = entry.get("mean_s")
+    return float(mean) if isinstance(mean, (int, float)) else None
+
+
+def assert_no_regression(
+    name: str,
+    measured_s: float,
+    *,
+    max_slowdown: float = 3.0,
+    path: Path = BENCH_PATH,
+) -> float | None:
+    """Fail if ``measured_s`` regressed past ``max_slowdown``× the committed mean.
+
+    Returns the measured/committed ratio, or ``None`` when the trajectory
+    holds no committed entry to compare against (a new benchmark cannot
+    gate its own first recording).  The default tolerance is deliberately
+    loose — shared CI runners and single-CPU dev boxes swing absolute
+    timings by 2× on a bad day — so the gate only trips on the kind of
+    structural regression (an accidental revert of a hot-path
+    optimization) it exists to catch, not on host noise.
+    """
+    committed = committed_mean(name, path)
+    if committed is None or committed <= 0:
+        return None
+    ratio = measured_s / committed
+    if ratio > max_slowdown:
+        raise AssertionError(
+            f"perf regression: {name} measured {measured_s:.6f}s vs committed "
+            f"mean {committed:.6f}s ({ratio:.2f}x, tolerance {max_slowdown:.1f}x)"
+        )
+    return ratio

@@ -82,3 +82,31 @@ def test_bench_message_delivery_throughput(benchmark):
         ["link condition", "delivered", "delivery events", "throughput"],
         rows,
     )
+
+
+def test_delivery_throughput_has_not_regressed():
+    """Blocking gate: the hot path must stay near its committed trajectory.
+
+    Run in CI's bench-smoke job.  The best of a few bursts (minimum, the
+    noise-robust statistic) is compared against the committed
+    ``BENCH_analysis.json`` mean with a loose tolerance — loose enough
+    that shared-runner noise never trips it, tight enough that reverting
+    the batched delivery path (a >4x slowdown) always does.
+    """
+    from bench_record import assert_no_regression
+
+    best = min(
+        _timed_burst() for _ in range(5)
+    )
+    ratio = assert_no_regression(
+        "benchmarks/test_bench_network.py::test_bench_message_delivery_throughput",
+        best,
+    )
+    if ratio is not None:
+        print(f"\ndelivery gate: best burst {best * 1e3:.1f} ms, {ratio:.2f}x committed mean")
+
+
+def _timed_burst() -> float:
+    start = time.perf_counter()
+    run_burst()
+    return time.perf_counter() - start

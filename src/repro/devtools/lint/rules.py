@@ -408,14 +408,28 @@ class FaultTokenGrammar(Rule):
 
 @register
 class RecordFormatSync(Rule):
-    """Readers must keep decoding every record format version ever written."""
+    """Readers must keep decoding every record format version ever written.
+
+    The contract holds per *pair* of constants: a module declaring a
+    format-version constant from :data:`VERSION_PAIRS` must also declare
+    its readable-set partner covering every version ``1..current``.
+    Version constants outside the pairs (``MANIFEST_FORMAT_VERSION``,
+    whose reader is deliberately single-version) are not the rule's
+    business.
+    """
 
     rule_id = "R005"
     name = "record-format-sync"
     description = (
-        "a module declaring RECORD_FORMAT_VERSION must keep "
-        "READABLE_FORMAT_VERSIONS covering every version 1..current, so "
-        "stores written by older code stay resumable"
+        "a module declaring a record/columnar format-version constant must "
+        "keep its READABLE_*_VERSIONS partner covering every version "
+        "1..current, so stores written by older code stay resumable"
+    )
+
+    #: (version constant, readable-set constant) pairs the rule enforces.
+    VERSION_PAIRS = (
+        ("RECORD_FORMAT_VERSION", "READABLE_FORMAT_VERSIONS"),
+        ("COLUMNAR_FORMAT_VERSION", "READABLE_COLUMNAR_VERSIONS"),
     )
 
     def __init__(self, ctx: FileContext) -> None:
@@ -432,34 +446,37 @@ class RecordFormatSync(Rule):
             self._assignments[node.target.id] = (node, node.value)
 
     def finish(self) -> None:
-        version_entry = self._assignments.get("RECORD_FORMAT_VERSION")
+        for version_name, readable_name in self.VERSION_PAIRS:
+            self._check_pair(version_name, readable_name)
+
+    def _check_pair(self, version_name: str, readable_name: str) -> None:
+        version_entry = self._assignments.get(version_name)
         if version_entry is None:
-            return  # not a record-format module
+            return  # this pair's format is not declared here
         version_node, version_value = version_entry
         if not (isinstance(version_value, ast.Constant) and isinstance(version_value.value, int)):
             self.report(
                 version_node,
-                "RECORD_FORMAT_VERSION must be an integer literal so readers "
+                f"{version_name} must be an integer literal so readers "
                 "and the lint can reason about it statically",
             )
             return
         current = version_value.value
-        readable_entry = self._assignments.get("READABLE_FORMAT_VERSIONS")
+        readable_entry = self._assignments.get(readable_name)
         if readable_entry is None:
             self.report(
                 version_node,
-                "module declares RECORD_FORMAT_VERSION but no "
-                "READABLE_FORMAT_VERSIONS — readers cannot prove which "
-                "versions stay decodable",
+                f"module declares {version_name} but no {readable_name} — "
+                "readers cannot prove which versions stay decodable",
             )
             return
         readable_node, readable_value = readable_entry
-        readable = self._evaluate_version_set(readable_value, current)
+        readable = self._evaluate_version_set(readable_value, version_name, current)
         if readable is None:
             self.report(
                 readable_node,
-                "READABLE_FORMAT_VERSIONS must be a literal set/frozenset of "
-                "integer versions (RECORD_FORMAT_VERSION may appear by name)",
+                f"{readable_name} must be a literal set/frozenset of "
+                f"integer versions ({version_name} may appear by name)",
             )
             return
         missing = [version for version in range(1, current + 1) if version not in readable]
@@ -467,12 +484,14 @@ class RecordFormatSync(Rule):
             self.report(
                 readable_node,
                 f"reader drops format version(s) {missing}: every declared "
-                f"version <= RECORD_FORMAT_VERSION ({current}) must remain "
+                f"version <= {version_name} ({current}) must remain "
                 "decodable or old stores silently stop resuming",
             )
 
     @staticmethod
-    def _evaluate_version_set(expr: ast.expr, current: int) -> frozenset[int] | None:
+    def _evaluate_version_set(
+        expr: ast.expr, version_name: str, current: int
+    ) -> frozenset[int] | None:
         if (
             isinstance(expr, ast.Call)
             and isinstance(expr.func, ast.Name)
@@ -486,7 +505,7 @@ class RecordFormatSync(Rule):
         for element in expr.elts:
             if isinstance(element, ast.Constant) and isinstance(element.value, int):
                 versions.add(element.value)
-            elif isinstance(element, ast.Name) and element.id == "RECORD_FORMAT_VERSION":
+            elif isinstance(element, ast.Name) and element.id == version_name:
                 versions.add(current)
             else:
                 return None

@@ -21,18 +21,27 @@ faults.  Every substrate-level delivery anomaly is recorded as a structured
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from dataclasses import dataclass, replace
+from math import log
+from typing import TYPE_CHECKING, Any, Callable, Iterable, NamedTuple
 
 from repro.errors import RuntimeConfigurationError
 from repro.sim.kernel import SimKernel
-from repro.sim.rng import RandomStream, RandomStreams
+from repro.sim.rng import BlockUniformSource, RandomStream, RandomStreams, uniform_source
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology imports LinkProfile)
     from repro.sim.topology import LinkState, NetworkFaultSpec, Partition, Topology
 
 
-@dataclass(frozen=True)
+#: How many uniform variates the delivery engine pre-draws from the
+#: ``"network"`` stream per refill.  ``0`` selects the legacy per-call draw
+#: discipline; any chunking produces the same variates in the same order
+#: (see :mod:`repro.sim.rng`), so this is a pure throughput knob — the
+#: differential suite runs every scenario at both settings to prove it.
+DEFAULT_DRAW_CHUNK = 4096
+
+
+@dataclass(frozen=True, slots=True)
 class LinkProfile:
     """Delay characteristics of one communication link.
 
@@ -59,10 +68,22 @@ class LinkProfile:
 
     def sample_delay(self, rng: RandomStream) -> float:
         """Draw one one-way delay from this profile."""
-        delay = self.base_delay
         if self.jitter_mean > 0:
-            delay += rng.expovariate(1.0 / self.jitter_mean)
-        return delay
+            return self.delay_from_uniform(rng.random())
+        return self.base_delay
+
+    def delay_from_uniform(self, u: float) -> float:
+        """The delay a jittered profile produces from one uniform variate.
+
+        This is ``base_delay + expovariate(1.0 / jitter_mean)`` with the
+        variate made explicit, replicating ``random.expovariate`` operation
+        by operation (``-log(1 - u) / lambd`` with ``lambd`` computed as
+        the reciprocal first) so pre-drawn and per-call variates yield
+        bit-identical delays.  Only meaningful when ``jitter_mean > 0`` —
+        callers must branch on that *before* consuming a variate, because
+        jitter-free profiles draw nothing.
+        """
+        return self.base_delay + -log(1.0 - u) / (1.0 / self.jitter_mean)
 
 
 #: Shared-memory / semaphore hop between two processes on the same host.
@@ -72,12 +93,16 @@ IPC_PROFILE = LinkProfile(base_delay=20e-6, jitter_mean=5e-6)
 LAN_TCP_PROFILE = LinkProfile(base_delay=150e-6, jitter_mean=30e-6)
 
 
-@dataclass
-class NetworkMessage:
+class NetworkMessage(NamedTuple):
     """A message in flight between two endpoints.
 
     Endpoints are opaque strings of the form ``"host/process"`` assigned by
-    the :class:`~repro.sim.environment.Environment`.
+    the :class:`~repro.sim.environment.Environment`.  A named tuple rather
+    than a dataclass: messages are created once per send on the hottest
+    path in the simulator, and a tuple of atomic fields is both cheaper to
+    build and invisible to the cyclic GC, whose generation scans otherwise
+    pace large send bursts.  ``metadata`` carries optional caller context
+    (attach it at construction; messages are immutable).
     """
 
     source: str
@@ -85,10 +110,10 @@ class NetworkMessage:
     payload: Any
     sent_at: float
     size_bytes: int = 0
-    metadata: dict = field(default_factory=dict)
+    metadata: dict | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryEvent:
     """One substrate-level delivery anomaly, recorded for analysis.
 
@@ -118,7 +143,25 @@ class DeliveryEvent:
     detail: str = ""
 
 
-@dataclass(frozen=True)
+class _Route:
+    """Resolved per-endpoint-pair delivery state, cached across sends.
+
+    Holds the directed link (a stable object every fault operation mutates
+    in place), the endpoints' host names, and the pair's FIFO arrival
+    floor — one cache lookup per send instead of separate host, link, and
+    floor lookups.
+    """
+
+    __slots__ = ("link", "source_host", "destination_host", "floor")
+
+    def __init__(self, link: "LinkState", source_host: str, destination_host: str) -> None:
+        self.link = link
+        self.source_host = source_host
+        self.destination_host = destination_host
+        self.floor = 0.0
+
+
+@dataclass(frozen=True, slots=True)
 class NetworkMutation:
     """A record of one runtime change to the network model."""
 
@@ -151,6 +194,7 @@ class NetworkModel:
         topology: "Topology | None" = None,
         default_profile: LinkProfile = LAN_TCP_PROFILE,
         ipc_profile: LinkProfile = IPC_PROFILE,
+        draw_chunk: int | None = None,
     ) -> None:
         # Function-level import: network.py defines LinkProfile, which
         # topology.py imports at module level, so the reverse import must
@@ -163,9 +207,50 @@ class NetworkModel:
         self._host_of = host_of
         self._kernel = kernel
         self._rng = streams.stream("network")
+        # The engine owns the "network" stream exclusively, so it may
+        # pre-draw uniform variates in chunks without perturbing anyone
+        # else; the source hands them out in exactly per-call order.
+        chunk = DEFAULT_DRAW_CHUNK if draw_chunk is None else draw_chunk
+        source = uniform_source(self._rng, chunk)
+        self._next_u = source.next
+        # The jitter draw happens once per delivered message, so it skips
+        # even the source's ``next`` frame: ``_draw_u`` is the C-level
+        # ``pop`` of the source's stable buffer (refilled in place on
+        # IndexError via ``_refill_u``) — or ``Random.random`` itself in
+        # per-call mode, where the except branch is unreachable.  Both
+        # bindings consume the same underlying double sequence as
+        # ``_next_u``, in the same order.
+        if isinstance(source, BlockUniformSource):
+            self._draw_u = source.buffer.pop
+            self._refill_u = source.refill
+        else:
+            self._draw_u = self._rng.random
+            self._refill_u = source.next
         self._topology = topology
-        self._arrival_floor: dict[tuple[str, str], float] = {}
+        # Resolved routes per endpoint pair: host_of is a pure function of
+        # the endpoint string and links are stable objects mutated in
+        # place, so cached routes never go stale.  _partitions aliases the
+        # topology's live partition list, and the four _posted_* bindings
+        # alias the kernel's monotone event lane (all stable objects,
+        # mutated in place only) for the per-send fast paths; see
+        # :meth:`send`.
+        self._routes: dict[tuple[str, str], _Route] = {}
+        self._partitions = topology._partitions
+        self._posted_times = kernel._posted_times
+        self._append_seq = kernel._posted_seqs.append
+        self._append_callback = kernel._posted_callbacks.append
+        self._append_arg = kernel._posted_args.append
+        self._next_seq = kernel._seq.__next__
+        # ``_make`` is ``classmethod(tuple.__new__)`` — the C-level
+        # constructor behind the generated ``__new__``, whose extra
+        # Python frame is measurable at one message per send.
+        self._make_message = NetworkMessage._make
         self.messages_sent = 0
+        #: Messages committed to delivery (loss, outage, and partition
+        #: checks all passed).  Committed deliveries are uncancellable, so
+        #: the count is final as soon as the message is queued; a run cut
+        #: short by a time horizon may therefore count messages still in
+        #: flight at the cutoff.
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.messages_duplicated = 0
@@ -445,29 +530,52 @@ class NetworkModel:
         sampled link delay, unless the message is lost or its link is cut.
         Returns the in-flight message object.
         """
-        host_of = self._host_of
-        message = NetworkMessage(
-            source=source,
-            destination=destination,
-            payload=payload,
-            sent_at=self._kernel.now,
-            size_bytes=size_bytes,
-        )
+        now = self._kernel._now  # .now is a Python-level property; this path is hot
+        message = self._make_message((source, destination, payload, now, size_bytes, None))
         self.messages_sent += 1
-        source_host = host_of(source)
-        destination_host = host_of(destination)
-        link = self._topology.link(source_host, destination_host)
-        blocked = self._topology.blocked_reason(source_host, destination_host, link)
-        if blocked is not None:
-            self.messages_dropped += 1
-            self.record_event(blocked, source, destination, detail=link.name)
-            return message
+        pair = (source, destination)
+        route = self._routes.get(pair)
+        if route is None:
+            source_host = self._host_of(source)
+            destination_host = self._host_of(destination)
+            route = _Route(
+                self._topology.link(source_host, destination_host),
+                source_host,
+                destination_host,
+            )
+            self._routes[pair] = route
+        link = route.link
+        if not link.up or self._partitions:
+            blocked = self._topology.blocked_reason(
+                route.source_host, route.destination_host, link
+            )
+            if blocked is not None:
+                self.messages_dropped += 1
+                self.record_event(blocked, source, destination, detail=link.name)
+                return message
+        # Each draw below consumes the "network" stream's next uniform
+        # variate, conditionally and in the exact order of the per-call
+        # implementation (loss, jitter, reorder check, reorder offset,
+        # duplicate check, duplicate jitter) — the delay and offset math
+        # replicates expovariate/uniform operation by operation (see
+        # LinkProfile.delay_from_uniform), so chunked pre-drawing cannot
+        # change a single simulated outcome.
         chosen = profile or link.profile
-        if chosen.loss_probability > 0 and self._rng.random() < chosen.loss_probability:
+        next_u = self._next_u
+        if chosen.loss_probability > 0 and next_u() < chosen.loss_probability:
             self.messages_dropped += 1
             self.record_event("lost", source, destination, detail=link.name)
             return message
-        delay = chosen.sample_delay(self._rng)
+        jitter_mean = chosen.jitter_mean
+        if jitter_mean > 0:
+            try:
+                u = self._draw_u()
+            except IndexError:  # block ran dry; refill it in place
+                self._refill_u()
+                u = self._draw_u()
+            delay = chosen.base_delay + -log(1.0 - u) / (1.0 / jitter_mean)
+        else:
+            delay = chosen.base_delay
         # TCP (and the shared-memory IPC queue) deliver in order per
         # connection: a message must not overtake an earlier one on the
         # same directed endpoint pair, however the jitter draws land.  The
@@ -476,33 +584,46 @@ class NetworkModel:
         # link deliberately breaks that guarantee: the reordered message
         # skips the floor (and leaves it untouched) so later messages can
         # overtake it.
-        pair = (source, destination)
-        if link.reorder_probability > 0 and self._rng.random() < link.reorder_probability:
-            arrival = (
-                self._kernel.now
-                + delay
-                + self._rng.uniform(0.0, link.reorder_window)
-            )
+        if link.reorder_probability > 0 and next_u() < link.reorder_probability:
+            arrival = now + delay + (0.0 + (link.reorder_window - 0.0) * next_u())
             self.messages_reordered += 1
             self.record_event("reordered", source, destination, detail=link.name)
         else:
-            arrival = max(self._kernel.now + delay, self._arrival_floor.get(pair, 0.0))
-            self._arrival_floor[pair] = arrival
-        self._kernel.schedule_at(arrival, self._deliver, message, deliver)
-        if link.duplicate_probability > 0 and self._rng.random() < link.duplicate_probability:
-            duplicate_delay = chosen.sample_delay(self._rng)
-            duplicate_arrival = max(
-                self._kernel.now + duplicate_delay, self._arrival_floor.get(pair, 0.0)
-            )
-            self._arrival_floor[pair] = duplicate_arrival
-            self.messages_duplicated += 1
-            self.record_event("duplicated", source, destination, detail=link.name)
-            self._kernel.schedule_at(duplicate_arrival, self._deliver, message, deliver)
-        return message
-
-    def _deliver(self, message: NetworkMessage, deliver: Callable[[NetworkMessage], None]) -> None:
+            arrival = now + delay
+            floor = route.floor
+            if floor > arrival:
+                arrival = floor
+            route.floor = arrival
+        # Inlined kernel.post_at: delays are never negative, so arrival is
+        # a valid event time, and the flat monotone-lane append below is
+        # what post_at itself would do whenever the lane's tail allows it.
+        # Posted events can never be cancelled, so delivery is committed
+        # the moment the event is queued — the counter is incremented here
+        # and the event invokes ``deliver`` directly, with no per-message
+        # bookkeeping trampoline between the kernel and the receiver.
         self.messages_delivered += 1
-        deliver(message)
+        times = self._posted_times
+        if times and arrival < times[-1]:
+            self._kernel.post_at(arrival, deliver, message)
+        else:
+            times.append(arrival)
+            self._append_seq(self._next_seq())
+            self._append_callback(deliver)
+            self._append_arg(message)
+        if link.duplicate_probability > 0 and next_u() < link.duplicate_probability:
+            if jitter_mean > 0:
+                duplicate_delay = (
+                    chosen.base_delay + -log(1.0 - next_u()) / (1.0 / jitter_mean)
+                )
+            else:
+                duplicate_delay = chosen.base_delay
+            duplicate_arrival = max(now + duplicate_delay, route.floor)
+            route.floor = duplicate_arrival
+            self.messages_duplicated += 1
+            self.messages_delivered += 1
+            self.record_event("duplicated", source, destination, detail=link.name)
+            self._kernel.post_at(duplicate_arrival, deliver, message)
+        return message
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

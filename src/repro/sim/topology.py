@@ -32,7 +32,7 @@ def host_of(endpoint: str) -> str:
     return endpoint.split("/", 1)[0]
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkState:
     """Mutable state of one directed link.
 

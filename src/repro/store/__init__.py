@@ -11,6 +11,9 @@ seeds, and the producing git commit.
   (:meth:`~CampaignStore.load_results` / :meth:`~CampaignStore.load_analysis`).
 * :mod:`repro.store.format` — bit-exact JSON record encoding with
   per-record checksums (torn writes are detected and treated as absent).
+* :mod:`repro.store.columnar` — the columnar record codec: checksummed
+  structured-array blocks (numpy, optionally Arrow) behind the same record
+  interface, read transparently alongside JSONL stores.
 * :mod:`repro.store.manifest` — study configuration fingerprints and the
   campaign manifest with its compatibility checks.
 
@@ -28,6 +31,16 @@ Typical use::
 """
 
 from repro.store.campaign_store import CampaignStore, StoredStudyConfig, StoreReport
+from repro.store.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    READABLE_COLUMNAR_VERSIONS,
+    ColumnarScan,
+    available_engines,
+    block_roundtrips,
+    decode_block,
+    encode_block,
+    scan_blocks,
+)
 from repro.store.format import (
     RECORD_FORMAT_VERSION,
     decode_record,
@@ -48,19 +61,27 @@ from repro.store.manifest import (
 )
 
 __all__ = [
+    "COLUMNAR_FORMAT_VERSION",
     "CampaignStore",
+    "ColumnarScan",
     "MANIFEST_FORMAT_VERSION",
     "Manifest",
+    "READABLE_COLUMNAR_VERSIONS",
     "RECORD_FORMAT_VERSION",
     "StoreReport",
     "StoredStudyConfig",
     "StudyManifest",
+    "available_engines",
+    "block_roundtrips",
+    "decode_block",
     "decode_record",
+    "encode_block",
     "encode_record",
     "expected_seeds",
     "record_roundtrips",
     "result_from_dict",
     "result_to_dict",
+    "scan_blocks",
     "study_description",
     "study_fingerprint",
     "timeline_from_dict",

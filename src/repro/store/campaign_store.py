@@ -44,10 +44,11 @@ import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, BinaryIO, Mapping
 
 from repro.core.campaign import CampaignConfig, ExperimentResult
 from repro.errors import StoreError, StoreIntegrityError
+from repro.store.columnar import MAGIC_LINE, encode_block, scan_blocks
 from repro.store.format import decode_record, encode_record
 from repro.store.manifest import Manifest, expected_seeds
 
@@ -107,14 +108,39 @@ class CampaignStore:
         The campaign directory.  Created (with parents) on first write.
     fsync:
         When true, every appended record is fsync'd before :meth:`append`
-        returns.  Defaults to false: the JSONL checksums already make torn
+        returns.  Defaults to false: the record checksums already make torn
         writes detectable, and the resume machinery re-runs anything that
         did not land, so durability-vs-throughput is the caller's choice.
+    codec:
+        The codec new records are written with: ``"jsonl"`` (the default —
+        one self-checksummed JSON line per experiment) or ``"columnar"``
+        (numpy structured-array blocks, see :mod:`repro.store.columnar`).
+        Reading is always transparent across codecs: both files are
+        merged, so a campaign recorded as JSONL can be resumed and grown
+        columnar (where both hold a record for the same index, the
+        columnar one wins — codec migration is one-way by design).
     """
 
-    def __init__(self, path: str | os.PathLike, *, fsync: bool = False) -> None:
+    CODECS = ("jsonl", "columnar")
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fsync: bool = False,
+        codec: str = "jsonl",
+    ) -> None:
+        if codec not in self.CODECS:
+            raise StoreError(
+                f"unknown store codec {codec!r} (supported: {', '.join(self.CODECS)})"
+            )
         self._path = Path(path)
         self._fsync = fsync
+        self._codec = codec
+        # Persistent columnar writers, one per study file: the torn-tail
+        # scan happens once at open, not per append, which is what makes
+        # streaming millions of records affordable.
+        self._writers: dict[Path, BinaryIO] = {}
 
     # -- layout ------------------------------------------------------------------------
 
@@ -128,9 +154,18 @@ class CampaignStore:
         """Location of ``manifest.json``."""
         return self._path / "manifest.json"
 
+    @property
+    def codec(self) -> str:
+        """The codec this store writes new records with."""
+        return self._codec
+
     def records_path(self, study_name: str) -> Path:
         """Location of one study's JSONL record file."""
         return self._path / "records" / f"{_study_slug(study_name)}.jsonl"
+
+    def columnar_path(self, study_name: str) -> Path:
+        """Location of one study's columnar record file."""
+        return self._path / "records" / f"{_study_slug(study_name)}.columnar"
 
     def exists(self) -> bool:
         """Whether the directory already holds a campaign manifest."""
@@ -177,23 +212,27 @@ class CampaignStore:
             manifest = manifest.merged_with(campaign)
         else:
             manifest = Manifest.of(campaign)
+        manifest.codec = self._codec
         self._write_manifest(manifest)
         return manifest
 
     # -- writing -----------------------------------------------------------------------
 
     def append(self, result: ExperimentResult) -> None:
-        """Append one completed experiment's record to its study file.
+        """Append one completed experiment's record via the store's codec.
 
-        Records are written as single lines so concurrent readers always
-        see a prefix of whole records, and a killed writer leaves at most
-        one torn (checksum-failing, hence ignored) trailing line.
+        Either codec writes whole self-checksummed records, so concurrent
+        readers always see a prefix of valid records and a killed writer
+        leaves at most one torn (checksum-failing, hence ignored) tail.
         """
         if not result.local_timelines and not result.sync_messages:
             raise StoreError(
                 f"experiment {result.study}:{result.index} carries no raw payload "
                 "(was it slimmed before reaching the store?)"
             )
+        if self._codec == "columnar":
+            self._append_columnar(result)
+            return
         path = self.records_path(result.study)
         path.parent.mkdir(parents=True, exist_ok=True)
         line = encode_record(result) + "\n"
@@ -211,6 +250,61 @@ class CampaignStore:
             if self._fsync:
                 os.fsync(handle.fileno())
 
+    def _append_columnar(self, result: ExperimentResult) -> None:
+        path = self.columnar_path(result.study)
+        writer = self._writers.get(path)
+        if writer is None:
+            writer = self._open_columnar_writer(path)
+            self._writers[path] = writer
+        writer.write(encode_block(result))
+        writer.flush()
+        if self._fsync:
+            os.fsync(writer.fileno())
+
+    def _open_columnar_writer(self, path: Path) -> BinaryIO:
+        """Open a persistent append handle, healing any torn trailing block.
+
+        The file is scanned once: a torn tail (killed writer) is truncated
+        back to the end of the valid prefix so the next block starts on a
+        clean frame.  A file that is not a columnar store at all raises
+        instead of being truncated.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(path, "a+b")
+        try:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                handle.write(MAGIC_LINE)
+                handle.flush()
+            else:
+                handle.seek(0)
+                scan = scan_blocks(handle.read())
+                handle.truncate(scan.valid_end)
+                handle.seek(0, os.SEEK_END)
+        except BaseException:
+            handle.close()
+            raise
+        return handle
+
+    def flush(self) -> None:
+        """Flush every persistent writer (records become readable/durable)."""
+        for writer in self._writers.values():
+            writer.flush()
+            if self._fsync:
+                os.fsync(writer.fileno())
+
+    def close(self) -> None:
+        """Close every persistent writer; appends after this reopen them."""
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- reading -----------------------------------------------------------------------
 
     def load_study_records(
@@ -220,19 +314,32 @@ class CampaignStore:
     ) -> dict[int, ExperimentResult]:
         """All valid records of one study, keyed by experiment index.
 
-        Later records supersede earlier ones for the same index (the file
-        is append-only).  Corrupt lines are skipped — they are what a
+        Reads are codec-transparent: the study's JSONL file and its
+        columnar file are both consulted, whatever codec the store writes
+        with.  Later records supersede earlier ones for the same index
+        within each file (both are append-only), and a columnar record
+        supersedes a JSONL record for the same index — codec migration is
+        jsonl→columnar one-way, so the columnar file is always the newer
+        writer.  Corrupt lines/blocks are skipped — they are what a
         killed campaign leaves behind and are simply re-run on resume.
         When ``expected`` maps indices to seeds, records whose seed does
         not match are dropped as well: they were produced by a different
         derivation and must not be resumed into this campaign.
         """
-        path = self.records_path(study_name)
         records: dict[int, ExperimentResult] = {}
+
+        def admit(result: ExperimentResult) -> None:
+            if result.study != study_name:
+                return
+            if expected is not None and expected.get(result.index) != result.seed:
+                return
+            records[result.index] = result
+
+        path = self.records_path(study_name)
         try:
             lines = path.read_text(encoding="utf-8").splitlines()
         except FileNotFoundError:
-            return records
+            lines = []
         for line in lines:
             if not line.strip():
                 continue
@@ -240,15 +347,19 @@ class CampaignStore:
                 result = decode_record(line)
             except StoreIntegrityError:
                 continue
-            if result.study != study_name:
-                continue
-            if expected is not None and expected.get(result.index) != result.seed:
-                continue
-            records[result.index] = result
+            admit(result)
+        columnar = self.columnar_path(study_name)
+        if columnar.is_file():
+            for result in scan_blocks(columnar.read_bytes()).results:
+                admit(result)
         return records
 
     def verify(self) -> dict[str, StoreReport]:
-        """Scan every record file and report valid/corrupt/superseded counts."""
+        """Scan every record file and report valid/corrupt/superseded counts.
+
+        Covers both codecs' files: every JSONL line and every columnar
+        block of a study count toward the same report.
+        """
         manifest = self.read_manifest()
         reports: dict[str, StoreReport] = {}
         for name in manifest.studies:
@@ -265,6 +376,13 @@ class CampaignStore:
                         report.corrupt += 1
                         continue
                     report.valid += 1
+                    seen[result.index] = seen.get(result.index, 0) + 1
+            columnar = self.columnar_path(name)
+            if columnar.is_file():
+                scan = scan_blocks(columnar.read_bytes())
+                report.valid += scan.valid
+                report.corrupt += scan.corrupt
+                for result in scan.results:
                     seen[result.index] = seen.get(result.index, 0) + 1
             report.superseded = sum(count - 1 for count in seen.values())
             reports[name] = report

@@ -178,19 +178,34 @@ class StudyManifest:
 
 @dataclass
 class Manifest:
-    """The manifest of one campaign directory."""
+    """The manifest of one campaign directory.
+
+    ``codec`` names the codec the store's *writer* currently uses
+    (``"jsonl"`` or ``"columnar"``).  It is informational — readers are
+    codec-transparent — and optional in the serialized form (absent means
+    ``"jsonl"``), so manifests written before the columnar codec existed
+    parse unchanged and old readers simply ignore the key: no
+    ``format_version`` bump.
+    """
 
     campaign: str
     git_sha: str = "unknown"
     format_version: int = MANIFEST_FORMAT_VERSION
+    codec: str = "jsonl"
     studies: dict[str, StudyManifest] = field(default_factory=dict)
 
     @classmethod
-    def of(cls, campaign: CampaignConfig, git_sha: str | None = None) -> "Manifest":
+    def of(
+        cls,
+        campaign: CampaignConfig,
+        git_sha: str | None = None,
+        codec: str = "jsonl",
+    ) -> "Manifest":
         """Build a manifest describing ``campaign``."""
         return cls(
             campaign=campaign.name,
             git_sha=repository_sha() if git_sha is None else git_sha,
+            codec=codec,
             studies={study.name: StudyManifest.of(study) for study in campaign.studies},
         )
 
@@ -199,6 +214,7 @@ class Manifest:
             "campaign": self.campaign,
             "git_sha": self.git_sha,
             "format_version": self.format_version,
+            "codec": self.codec,
             "studies": {name: entry.to_dict() for name, entry in self.studies.items()},
         }
 
@@ -213,6 +229,7 @@ class Manifest:
             campaign=data["campaign"],
             git_sha=data.get("git_sha", "unknown"),
             format_version=data["format_version"],
+            codec=data.get("codec", "jsonl"),
             studies={
                 name: StudyManifest.from_dict(entry)
                 for name, entry in data["studies"].items()
@@ -268,6 +285,7 @@ class Manifest:
             campaign=self.campaign,
             git_sha=self.git_sha,
             format_version=self.format_version,
+            codec=self.codec,
             studies=merged,
         )
 

@@ -1,0 +1,5 @@
+"""Bad: a columnar version bump without extending the readable set."""
+
+COLUMNAR_FORMAT_VERSION = 2
+
+READABLE_COLUMNAR_VERSIONS = frozenset({COLUMNAR_FORMAT_VERSION})

@@ -1,0 +1,11 @@
+"""Good: the columnar reader keeps every written version decodable.
+
+The manifest constant below is deliberately *unpaired*: its reader is
+single-version by design, and the rule must leave it alone.
+"""
+
+COLUMNAR_FORMAT_VERSION = 2
+
+READABLE_COLUMNAR_VERSIONS = frozenset({1, COLUMNAR_FORMAT_VERSION})
+
+MANIFEST_FORMAT_VERSION = 1

@@ -72,6 +72,23 @@ class TestFixtures:
         diagnostics = run_lint([FIXTURES / "r002" / "bad"], select=["R001"])
         assert diagnostics == []
 
+    def test_r005_covers_both_format_version_pairs(self):
+        # The bad tree must flag the JSONL pair *and* the columnar pair;
+        # one regressing must never hide behind the other staying green.
+        diagnostics = run_lint([FIXTURES / "r005" / "bad"])
+        flagged = {Path(d.path).name for d in diagnostics}
+        assert flagged == {"format.py", "columnar.py"}, [
+            d.render() for d in diagnostics
+        ]
+
+    def test_r005_ignores_unpaired_version_constants(self, tmp_path):
+        # MANIFEST_FORMAT_VERSION has no readable-set partner on purpose
+        # (its reader is single-version); declaring it alone is clean.
+        path = tmp_path / "store" / "manifest.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("MANIFEST_FORMAT_VERSION = 1\n", encoding="utf-8")
+        assert run_lint([tmp_path]) == []
+
 
 class TestRealTree:
     def test_source_tree_lints_clean(self):

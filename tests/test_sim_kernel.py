@@ -205,3 +205,52 @@ def test_compaction_preserves_execution_order():
     kernel.run()
     assert order == expected
     assert kernel.events_processed == 100
+
+
+def test_post_at_orders_against_scheduled_events_at_equal_times():
+    # Insertion order breaks equal-time ties across the monotone posted
+    # lane and the heap, exactly as it does within either lane alone.
+    kernel = SimKernel()
+    order = []
+    kernel.post_at(1.0, order.append, "posted-first")
+    kernel.schedule_at(1.0, lambda: order.append("heap-second"))
+    kernel.run()
+    assert order == ["posted-first", "heap-second"]
+
+    kernel = SimKernel()
+    order = []
+    kernel.schedule_at(1.0, lambda: order.append("heap-first"))
+    kernel.post_at(1.0, order.append, "posted-second")
+    kernel.run()
+    assert order == ["heap-first", "posted-second"]
+
+
+def test_post_at_accepts_any_arity_and_out_of_order_times():
+    # The monotone lane only holds single-argument, nondecreasing posts;
+    # everything else must transparently fall back to the heap and still
+    # execute in global (time, insertion) order.
+    kernel = SimKernel()
+    order = []
+    kernel.post_at(1.0, lambda: order.append("zero-arg"))
+    kernel.post_at(1.0, order.append, "unary")
+    kernel.post_at(1.0, lambda a, b: order.append((a, b)), 1, 2)
+    kernel.post_at(0.5, order.append, "out-of-order")
+    assert kernel.pending == 4
+    kernel.run()
+    assert order == ["out-of-order", "zero-arg", "unary", (1, 2)]
+    assert kernel.pending == 0
+    assert kernel.events_processed == 4
+
+
+def test_run_until_and_step_drain_posted_lane():
+    kernel = SimKernel()
+    order = []
+    kernel.post_at(1.0, order.append, "p1")
+    kernel.schedule_at(2.0, lambda: order.append("h2"))
+    kernel.post_at(3.0, order.append, "p3")
+    kernel.run(until=2.5)
+    assert order == ["p1", "h2"]
+    assert kernel.now == 2.5
+    assert kernel.step()
+    assert order == ["p1", "h2", "p3"]
+    assert not kernel.step()

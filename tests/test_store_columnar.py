@@ -1,0 +1,339 @@
+"""Tests of the columnar record codec: blocks, healing, codec transparency.
+
+The columnar codec must be indistinguishable from the JSONL codec at every
+observable level: a payload round-trips bit-exactly through a block, a
+store written columnar resumes and re-analyzes bit-identically to one
+written JSONL, and a reader handed a directory holding both codecs' files
+merges them transparently.  The round-trip properties run twice, mirroring
+``test_store``: against a deterministic seeded table (always), and against
+hypothesis-generated payloads when hypothesis is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.campaign import CampaignRunner
+from repro.errors import StoreError, StoreIntegrityError
+from repro.pipeline import run_and_analyze
+from repro.store import (
+    COLUMNAR_FORMAT_VERSION,
+    READABLE_COLUMNAR_VERSIONS,
+    CampaignStore,
+    available_engines,
+    block_roundtrips,
+    decode_block,
+    encode_block,
+    result_to_dict,
+    scan_blocks,
+)
+from repro.store.columnar import MAGIC_LINE
+
+from test_store import build_campaign, campaign_measures_of, synthetic_result
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ModuleNotFoundError:  # pragma: no cover - exercised on minimal installs
+    HAVE_HYPOTHESIS = False
+
+
+def check_block_roundtrip(result) -> None:
+    assert block_roundtrips(result)
+    block = encode_block(result)
+    header_line, _, rest = block.partition(b"\n")
+    decoded = decode_block(json.loads(header_line), rest[:-1])
+    # Canonical-dictionary equality is bit-exact float equality.
+    assert result_to_dict(decoded) == result_to_dict(result)
+    assert decoded.seed == result.seed
+    for machine, timeline in result.local_timelines.items():
+        other = decoded.local_timelines[machine]
+        assert other.records == timeline.records
+        assert other.faults == timeline.faults
+        assert other.notes == timeline.notes
+    assert decoded.sync_messages == result.sync_messages
+    assert decoded.host_clock_parameters == result.host_clock_parameters
+
+
+def file_of(*blocks: bytes) -> bytes:
+    return MAGIC_LINE + b"".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Block round trips
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarBlocks:
+    def test_seeded_roundtrips(self):
+        for seed in range(40):
+            check_block_roundtrip(synthetic_result(seed))
+
+    def test_extreme_floats_roundtrip(self):
+        # Raw IEEE-754 doubles in the tables, repr floats in the meta line:
+        # both sides must preserve these bit patterns exactly.
+        extremes = [
+            1e-308,          # subnormal territory
+            5e-324,          # smallest positive subnormal
+            1e308,
+            math.inf,
+            -math.inf,
+            -0.0,
+            2.0**-52,
+            0.1 + 0.2,
+            math.pi,
+        ]
+        result = synthetic_result(1, extra_times=extremes)
+        check_block_roundtrip(result)
+        # -0.0 specifically: equality would not catch a sign-bit loss.
+        decoded = decode_block(*split_block(encode_block(result)))
+        times = [
+            record.time
+            for timeline in decoded.local_timelines.values()
+            for record in timeline.records
+        ]
+        assert any(time == 0.0 and math.copysign(1.0, time) < 0 for time in times)
+
+    def test_empty_tables_roundtrip(self):
+        # A result can legitimately carry empty timelines (zero records)
+        # and no sync messages; zero-row arrays must frame cleanly.
+        result = synthetic_result(2)
+        for timeline in result.local_timelines.values():
+            timeline.records.clear()
+        result.sync_messages.clear()
+        check_block_roundtrip(result)
+
+    def test_real_experiment_roundtrips(self):
+        from repro.apps.toggle import build_toggle_study
+
+        study = build_toggle_study(
+            "rt", dwell_time=0.02, timeslice=0.002, cycles=3, experiments=1, seed=9
+        )
+        check_block_roundtrip(CampaignRunner.run_experiment_of(study, 0))
+
+    def test_matches_jsonl_codec_bit_exactly(self):
+        from repro.store import decode_record, encode_record
+
+        for seed in range(10):
+            result = synthetic_result(seed)
+            via_jsonl = result_to_dict(decode_record(encode_record(result)))
+            via_columnar = result_to_dict(decode_block(*split_block(encode_block(result))))
+            assert via_jsonl == via_columnar
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(StoreError, match="unknown columnar engine"):
+            encode_block(synthetic_result(3), engine="csv")
+
+    def test_arrow_engine_gated_when_pyarrow_missing(self):
+        if "arrow" in available_engines():
+            assert block_roundtrips(synthetic_result(3), engine="arrow")
+        else:
+            with pytest.raises(StoreError, match="pyarrow"):
+                encode_block(synthetic_result(3), engine="arrow")
+
+    def test_unknown_format_version_detected(self):
+        block = encode_block(synthetic_result(4))
+        header, payload = split_block(block)
+        header["format"] = COLUMNAR_FORMAT_VERSION + 1
+        assert header["format"] not in READABLE_COLUMNAR_VERSIONS
+        with pytest.raises(StoreIntegrityError, match="columnar format"):
+            decode_block(header, payload)
+
+    def test_body_length_mismatch_detected(self):
+        header, payload = split_block(encode_block(synthetic_result(5)))
+        with pytest.raises(StoreIntegrityError):
+            decode_block(header, payload + b"\x00" * 8)
+
+    if HAVE_HYPOTHESIS:
+
+        @given(
+            seed=st.integers(min_value=0, max_value=2**32 - 1),
+            extra_times=st.lists(
+                st.floats(allow_nan=False, width=64), max_size=6
+            ),
+        )
+        @settings(max_examples=60, deadline=None)
+        def test_hypothesis_roundtrips(self, seed, extra_times):
+            check_block_roundtrip(synthetic_result(seed, extra_times=extra_times))
+
+
+def split_block(block: bytes) -> tuple[dict, bytes]:
+    header_line, _, rest = block.partition(b"\n")
+    return json.loads(header_line), rest[:-1]
+
+
+# ---------------------------------------------------------------------------
+# File scanning and torn-tail healing
+# ---------------------------------------------------------------------------
+
+
+class TestScanAndHeal:
+    def test_scan_reads_every_block(self):
+        blocks = [encode_block(synthetic_result(seed)) for seed in range(4)]
+        scan = scan_blocks(file_of(*blocks))
+        assert scan.valid == 4 and scan.corrupt == 0
+        assert scan.valid_end == len(file_of(*blocks))
+
+    def test_scan_refuses_foreign_files(self):
+        # A writer must never "heal" (truncate) a file that is not a
+        # columnar store in the first place.
+        with pytest.raises(StoreIntegrityError, match="magic"):
+            scan_blocks(b'{"payload": "this is a jsonl store"}\n')
+
+    def test_torn_tail_ends_the_valid_prefix(self):
+        intact = file_of(
+            encode_block(synthetic_result(1)), encode_block(synthetic_result(2))
+        )
+        torn = intact + encode_block(synthetic_result(3))[:-17]
+        scan = scan_blocks(torn)
+        assert scan.valid == 2 and scan.corrupt == 1
+        assert scan.valid_end == len(intact)
+
+    def test_checksum_tamper_ends_the_valid_prefix(self):
+        block = bytearray(encode_block(synthetic_result(1)))
+        block[-30] ^= 0xFF  # flip a payload byte; header checksum now lies
+        scan = scan_blocks(file_of(bytes(block)))
+        assert scan.valid == 0 and scan.corrupt == 1
+        assert scan.valid_end == len(MAGIC_LINE)
+
+    def test_writer_heals_torn_tail_before_appending(self, tmp_path):
+        store = CampaignStore(tmp_path / "c", codec="columnar")
+        with store:
+            store.append(synthetic_result(1))
+        path = store.columnar_path("synthetic")
+        intact = path.read_bytes()
+        path.write_bytes(intact + encode_block(synthetic_result(2))[:-9])
+
+        with store:
+            store.append(synthetic_result(3))
+        scan = scan_blocks(path.read_bytes())
+        assert scan.valid == 2 and scan.corrupt == 0
+        assert [r.seed for r in scan.results] == [
+            synthetic_result(1).seed,
+            synthetic_result(3).seed,
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Store-level codec transparency
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarStore:
+    def test_unknown_codec_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="unknown store codec"):
+            CampaignStore(tmp_path / "c", codec="parquet")
+
+    def test_store_backed_run_matches_plain_run(self, tmp_path):
+        campaign = build_campaign()
+        plain = run_and_analyze(campaign)
+        store = CampaignStore(tmp_path / "c", codec="columnar")
+        with store:
+            stored = run_and_analyze(campaign, store=store)
+        assert campaign_measures_of(stored) == campaign_measures_of(plain)
+        # Re-analysis straight off the columnar files: still bit-identical.
+        assert campaign_measures_of(store.load_analysis(campaign)) == (
+            campaign_measures_of(plain)
+        )
+
+    def test_columnar_and_jsonl_stores_agree_record_for_record(self, tmp_path):
+        campaign = build_campaign()
+        jsonl = CampaignStore(tmp_path / "jsonl", codec="jsonl")
+        columnar = CampaignStore(tmp_path / "col", codec="columnar")
+        run_and_analyze(campaign, store=jsonl)
+        with columnar:
+            run_and_analyze(campaign, store=columnar)
+        for study in campaign.studies:
+            left = jsonl.load_study_records(study.name)
+            right = columnar.load_study_records(study.name)
+            assert sorted(left) == sorted(right)
+            for index in left:
+                assert result_to_dict(left[index]) == result_to_dict(right[index])
+
+    def test_manifest_records_the_codec(self, tmp_path):
+        store = CampaignStore(tmp_path / "c", codec="columnar")
+        manifest = store.attach(build_campaign())
+        assert manifest.codec == "columnar"
+        assert store.read_manifest().codec == "columnar"
+        # Default stores stamp (and old manifests imply) "jsonl".
+        plain = CampaignStore(tmp_path / "d")
+        assert plain.attach(build_campaign()).codec == "jsonl"
+        data = json.loads(plain.manifest_path.read_text(encoding="utf-8"))
+        del data["codec"]  # a manifest written before the key existed
+        plain.manifest_path.write_text(json.dumps(data), encoding="utf-8")
+        assert plain.read_manifest().codec == "jsonl"
+
+    def test_jsonl_campaign_resumes_and_grows_columnar(self, tmp_path, monkeypatch):
+        # The migration story: record a campaign as JSONL, then grow it
+        # with a columnar writer.  Old records are reused (not re-run) and
+        # the merged read is bit-identical to a plain run of the grown
+        # campaign.
+        small = build_campaign(experiments=2)
+        run_and_analyze(small, store=CampaignStore(tmp_path / "c", codec="jsonl"))
+
+        simulated: list[tuple[str, int]] = []
+        original = CampaignRunner.run_experiment
+
+        def counting(self, study, index):
+            simulated.append((study.name, index))
+            return original(self, study, index)
+
+        monkeypatch.setattr(CampaignRunner, "run_experiment", counting)
+        large = build_campaign(experiments=4)
+        store = CampaignStore(tmp_path / "c", codec="columnar")
+        with store:
+            grown = run_and_analyze(large, store=store)
+        assert sorted(simulated) == [
+            ("alpha", 2), ("alpha", 3), ("beta", 2), ("beta", 3),
+        ]
+        assert campaign_measures_of(grown) == campaign_measures_of(
+            run_and_analyze(large)
+        )
+        # Both codecs' files now exist side by side and verify() sees all
+        # records across them.
+        assert store.records_path("alpha").is_file()
+        assert store.columnar_path("alpha").is_file()
+        assert all(report.valid == 4 for report in store.verify().values())
+
+    def test_columnar_record_supersedes_jsonl_for_same_index(self, tmp_path):
+        from dataclasses import replace
+
+        result = synthetic_result(6)
+        jsonl = CampaignStore(tmp_path / "c", codec="jsonl")
+        jsonl.append(result)
+        rewritten = replace(result, duration=result.duration + 1.0)
+        store = CampaignStore(tmp_path / "c", codec="columnar")
+        with store:
+            store.append(rewritten)
+        loaded = store.load_study_records("synthetic")
+        assert loaded[result.index].duration == rewritten.duration
+
+    def test_interrupted_columnar_campaign_resumes_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        from test_store import TestResumeRoundTrip
+
+        campaign = build_campaign(experiments=3)
+        baseline = campaign_measures_of(run_and_analyze(campaign))
+        store = CampaignStore(tmp_path / "c", codec="columnar")
+        TestResumeRoundTrip().interrupt_after(store, campaign, count=3)
+        store.close()  # the kill dropped the engine's reference mid-flight
+        assert sum(report.valid for report in store.verify().values()) == 3
+
+        simulated: list[tuple[str, int]] = []
+        original = CampaignRunner.run_experiment
+
+        def counting(self, study, index):
+            simulated.append((study.name, index))
+            return original(self, study, index)
+
+        monkeypatch.setattr(CampaignRunner, "run_experiment", counting)
+        with store:
+            resumed = run_and_analyze(campaign, store=store)
+        assert len(simulated) == 3
+        assert campaign_measures_of(resumed) == baseline
