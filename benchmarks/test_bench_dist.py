@@ -1,0 +1,134 @@
+"""DIST-ENGINE: throughput and overhead of the distributed backend.
+
+Two questions:
+
+1. What does the supervised fleet buy on a real campaign?  The same
+   200-experiment, four-study campaign as the execution bench, run
+   through the coordinator/worker backend with four workers
+   (``distributed_campaign_200x4`` in the trajectory).  The >= 1.5x
+   speedup assertion only applies when the machine exposes at least four
+   usable CPUs; the gate is looser than the pool's because every record
+   crosses a socket as JSON instead of a pickle over a pipe.
+2. What does the orchestration itself cost?  A small campaign on a
+   *single* worker isolates the coordinator overhead — sharding,
+   heartbeats, framing, dedup bookkeeping — from any parallel speedup
+   (``dist_coordinator_overhead_24x1``); the per-experiment delta against
+   a serial run is printed alongside.
+
+Correctness is asserted before timings are recorded: the distributed
+analysis must match the serial one seed-for-seed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import print_table, usable_cpus
+from repro.apps.toggle import build_toggle_study
+from repro.core.campaign import CampaignConfig
+from repro.core.execution import DISTRIBUTED, ExecutionConfig, available_backends
+from repro.pipeline import run_and_analyze
+
+STUDIES = 4
+EXPERIMENTS_PER_STUDY = 50  # 200 experiments total
+WORKERS = 4
+
+needs_fork = pytest.mark.skipif(
+    DISTRIBUTED not in available_backends(),
+    reason="distributed backend needs the fork start method",
+)
+
+
+def build_campaign(
+    studies: int = STUDIES, experiments: int = EXPERIMENTS_PER_STUDY
+) -> CampaignConfig:
+    built = [
+        build_toggle_study(
+            name=f"dwell-{index}",
+            dwell_time=0.010 + 0.005 * index,
+            timeslice=0.005,
+            cycles=3,
+            experiments=experiments,
+            seed=100 + index,
+        )
+        for index in range(studies)
+    ]
+    return CampaignConfig(name="dist-bench", studies=built)
+
+
+def seeds_of(analysis) -> dict[str, list[int]]:
+    return {
+        name: [experiment.result.seed for experiment in study.experiments]
+        for name, study in analysis.studies.items()
+    }
+
+
+@needs_fork
+def test_bench_distributed_campaign(benchmark):
+    """200 experiments through the supervised four-worker fleet."""
+    campaign = build_campaign()
+
+    start = time.perf_counter()
+    serial = run_and_analyze(campaign, ExecutionConfig.serial())
+    serial_elapsed = time.perf_counter() - start
+
+    config = ExecutionConfig.distributed(workers=WORKERS, chunk_size=5)
+    benchmark.extra_info["trajectory_name"] = "distributed_campaign_200x4"
+    dist = benchmark.pedantic(
+        lambda: run_and_analyze(campaign, config), rounds=3, iterations=1
+    )
+
+    # The engine's contract: the backend cannot change any result.
+    assert seeds_of(serial) == seeds_of(dist)
+    assert serial.acceptance_summary() == dist.acceptance_summary()
+
+    dist_elapsed = benchmark.stats.stats.mean
+    speedup = serial_elapsed / dist_elapsed if dist_elapsed > 0 else float("inf")
+    experiments = STUDIES * EXPERIMENTS_PER_STUDY
+    print_table(
+        f"Distributed backend — {experiments} experiments, {WORKERS} workers "
+        f"({usable_cpus()} usable CPUs)",
+        ["backend", "wall clock", "experiments/s"],
+        [
+            ["serial", f"{serial_elapsed:.2f} s", f"{experiments / serial_elapsed:.1f}"],
+            ["distributed", f"{dist_elapsed:.2f} s", f"{experiments / dist_elapsed:.1f}"],
+            ["speedup", f"{speedup:.2f}x", ""],
+        ],
+    )
+
+    if usable_cpus() >= WORKERS:
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x speedup with {WORKERS} workers on "
+            f"{usable_cpus()} CPUs, measured {speedup:.2f}x"
+        )
+
+
+@needs_fork
+def test_bench_coordinator_overhead(benchmark):
+    """Coordinator cost isolated: one worker, no parallelism to hide it."""
+    campaign = build_campaign(studies=1, experiments=24)
+
+    start = time.perf_counter()
+    serial = run_and_analyze(campaign, ExecutionConfig.serial())
+    serial_elapsed = time.perf_counter() - start
+
+    config = ExecutionConfig.distributed(workers=1, chunk_size=6)
+    benchmark.extra_info["trajectory_name"] = "dist_coordinator_overhead_24x1"
+    dist = benchmark.pedantic(
+        lambda: run_and_analyze(campaign, config), rounds=3, iterations=1
+    )
+    assert seeds_of(serial) == seeds_of(dist)
+
+    dist_elapsed = benchmark.stats.stats.mean
+    overhead = dist_elapsed - serial_elapsed
+    per_experiment_ms = 1000.0 * overhead / 24
+    print_table(
+        "Coordinator overhead — 24 experiments, 1 worker",
+        ["run", "wall clock", "overhead/experiment"],
+        [
+            ["serial", f"{serial_elapsed * 1000:.1f} ms", ""],
+            ["distributed (1 worker)", f"{dist_elapsed * 1000:.1f} ms", f"{per_experiment_ms:.2f} ms"],
+        ],
+    )

@@ -1,4 +1,4 @@
-"""Campaign execution engine: pluggable serial / process-pool backends.
+"""Campaign execution engine: serial, process-pool, and distributed backends.
 
 Loki evaluations need thousands of experiments per study to estimate
 correct-injection probabilities and coverage measures, and every experiment
@@ -8,15 +8,25 @@ is an independent unit of work: it derives its own seed from the public
 its siblings.  That makes experiment-level parallelism embarrassingly
 available, and this module supplies it behind a small engine:
 
-* :class:`ExecutionConfig` selects a backend (``"serial"`` or
-  ``"process-pool"``), a worker count, and a chunk size;
+* :class:`ExecutionConfig` selects a backend (``"serial"``,
+  ``"process-pool"``, or ``"distributed"``), a worker count, a chunk
+  size, and the fault-tolerance knobs (retry budget, backoff base,
+  heartbeat cadence);
 * :class:`SerialExecutor` runs experiments in-process in index order
   (bit-identical to the historical ``CampaignRunner.run`` loop);
 * :class:`ProcessPoolExecutor` fans experiments out across a
-  ``multiprocessing`` fork pool.  Each worker re-derives its experiment
-  seed from the study seed and experiment index, so scheduling order
-  cannot change any outcome: both backends produce identical per-
-  experiment seeds, timelines, and measure values.
+  ``concurrent.futures`` fork pool, surviving worker crashes by retrying
+  the lost chunks within the configured budget;
+* :class:`~repro.dist.coordinator.DistributedExecutor` (backend
+  ``"distributed"``) shards the campaign across supervised worker
+  processes behind a sockets-based coordinator with heartbeats, lease
+  reassignment, and idempotent completion resolution — see
+  :mod:`repro.dist`.
+
+Each worker re-derives its experiment seed from the study seed and
+experiment index, so scheduling order cannot change any outcome: all
+backends produce identical per-experiment seeds, timelines, and measure
+values — even across crashes, retries, and duplicated deliveries.
 
 The engine exposes two entry points.  :meth:`ExperimentExecutor.run_campaign`
 performs only the runtime phase and returns a full
@@ -50,10 +60,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
+import warnings
+from concurrent import futures as _futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
-from repro.errors import RuntimeConfigurationError
+from repro.errors import ExecutionInterrupted, RuntimeConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.core.campaign import (
@@ -72,6 +86,10 @@ SERIAL = "serial"
 #: Backend name: fan experiments out across a ``multiprocessing`` fork pool.
 PROCESS_POOL = "process-pool"
 
+#: Backend name: shard the campaign across supervised worker processes
+#: behind the fault-tolerant coordinator in :mod:`repro.dist`.
+DISTRIBUTED = "distributed"
+
 #: Callback signature for progress streaming: ``(study_name, done, total)``.
 ProgressCallback = Callable[[str, int, int], None]
 
@@ -87,7 +105,7 @@ CompletionSink = Callable[[int, int, object], None]
 def available_backends() -> tuple[str, ...]:
     """The execution backends usable on this platform."""
     if "fork" in multiprocessing.get_all_start_methods():
-        return (SERIAL, PROCESS_POOL)
+        return (SERIAL, PROCESS_POOL, DISTRIBUTED)
     return (SERIAL,)
 
 
@@ -98,10 +116,10 @@ class ExecutionConfig:
     Parameters
     ----------
     backend:
-        ``"serial"`` or ``"process-pool"``.
+        ``"serial"``, ``"process-pool"``, or ``"distributed"``.
     workers:
-        Worker processes for the pool backend; ``None`` uses the machine's
-        CPU count.  Ignored by the serial backend.
+        Worker processes for the pool and distributed backends; ``None``
+        uses the machine's CPU count.  Ignored by the serial backend.
     chunk_size:
         How many experiments each pool task carries.  Larger chunks
         amortize IPC overhead for campaigns of many fast experiments.
@@ -118,6 +136,21 @@ class ExecutionConfig:
         Optional callback invoked after every finished experiment with
         ``(study_name, completed_in_study, total_in_study)``.  Never
         pickled: it runs in the coordinating process only.
+    max_retries:
+        How many times the pool and distributed backends re-attempt work
+        lost to a crashed worker (a broken pool, a dead shard lease)
+        before giving up with
+        :class:`~repro.errors.ExecutionInterrupted`.  ``0`` disables
+        retries; determinism makes every retry bit-safe.
+    retry_backoff_base_s:
+        First-retry backoff delay; successive retries double it (with
+        jitter from the dedicated supervision RNG stream).
+    heartbeat_interval_s:
+        How often distributed workers beat, and how often the
+        coordinator sweeps for silence.
+    heartbeat_timeout_s:
+        Silence span after which the coordinator declares a distributed
+        worker dead and reassigns its shard.  Must exceed the interval.
     """
 
     backend: str = SERIAL
@@ -125,12 +158,16 @@ class ExecutionConfig:
     chunk_size: int | None = None
     keep_raw_results: bool = False
     progress: ProgressCallback | None = field(default=None, compare=False)
+    max_retries: int = 2
+    retry_backoff_base_s: float = 0.05
+    heartbeat_interval_s: float = 0.5
+    heartbeat_timeout_s: float = 2.0
 
     def __post_init__(self) -> None:
-        if self.backend not in (SERIAL, PROCESS_POOL):
+        if self.backend not in (SERIAL, PROCESS_POOL, DISTRIBUTED):
             raise RuntimeConfigurationError(
                 f"unknown execution backend {self.backend!r}; "
-                f"expected {SERIAL!r} or {PROCESS_POOL!r}"
+                f"expected {SERIAL!r}, {PROCESS_POOL!r}, or {DISTRIBUTED!r}"
             )
         if self.workers is not None and self.workers < 1:
             raise RuntimeConfigurationError(
@@ -139,6 +176,24 @@ class ExecutionConfig:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise RuntimeConfigurationError(
                 f"execution chunk size must be positive (got {self.chunk_size})"
+            )
+        if self.max_retries < 0:
+            raise RuntimeConfigurationError(
+                f"max_retries must be >= 0 (got {self.max_retries})"
+            )
+        if self.retry_backoff_base_s <= 0:
+            raise RuntimeConfigurationError(
+                f"retry backoff base must be positive (got {self.retry_backoff_base_s})"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise RuntimeConfigurationError(
+                f"heartbeat interval must be positive (got {self.heartbeat_interval_s})"
+            )
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise RuntimeConfigurationError(
+                f"heartbeat timeout ({self.heartbeat_timeout_s}) must exceed the "
+                f"heartbeat interval ({self.heartbeat_interval_s}), or every "
+                "in-flight worker would look dead between beats"
             )
 
     @staticmethod
@@ -150,6 +205,11 @@ class ExecutionConfig:
     def process_pool(workers: int | None = None, **kwargs) -> "ExecutionConfig":
         """A process-pool configuration with ``workers`` processes."""
         return ExecutionConfig(backend=PROCESS_POOL, workers=workers, **kwargs)
+
+    @staticmethod
+    def distributed(workers: int | None = None, **kwargs) -> "ExecutionConfig":
+        """A distributed-backend configuration with ``workers`` processes."""
+        return ExecutionConfig(backend=DISTRIBUTED, workers=workers, **kwargs)
 
     def resolved_workers(self) -> int:
         """The concrete worker count the pool backend will use."""
@@ -231,6 +291,32 @@ def _fused_task(task: tuple[int, int]) -> tuple[int, int, "AnalyzedExperiment"]:
     return study_index, experiment_index, analyzed
 
 
+def _chunk_task(task, chunk: list[tuple[int, int]]) -> list:
+    """One pool submission: a chunk of tasks, completed together."""
+    return [task(item) for item in chunk]
+
+
+def _describe_tasks(
+    campaign: "CampaignConfig", tasks: Sequence[tuple[int, int]], limit: int = 5
+) -> str:
+    """Name the first few ``(study, index)`` tasks for error messages."""
+    names = [
+        f"{campaign.studies[study_index].name}:{experiment_index}"
+        for study_index, experiment_index in tasks[:limit]
+    ]
+    suffix = f", ... (+{len(tasks) - limit} more)" if len(tasks) > limit else ""
+    return ", ".join(names) + suffix
+
+
+def _resume_hint(store: "CampaignStore") -> str:
+    """What a crashed campaign's operator should do next."""
+    return (
+        f"completed experiments are already persisted in the campaign store at "
+        f"{store.path}; re-running the same campaign with this store attached "
+        "resumes from them instead of restarting"
+    )
+
+
 # ---------------------------------------------------------------------------
 # Executors
 # ---------------------------------------------------------------------------
@@ -270,10 +356,14 @@ class ExperimentExecutor:
             def sink(study_index: int, experiment_index: int, result) -> None:
                 store.append(result)
 
-            slots = self._run(
-                campaign, _runtime_task, runner_class,
-                tasks=pending, sink=sink, done_offsets=offsets,
-            )
+            try:
+                slots = self._run(
+                    campaign, _runtime_task, runner_class,
+                    tasks=pending, sink=sink, done_offsets=offsets,
+                )
+            except ExecutionInterrupted as error:
+                error.add_note(_resume_hint(store))
+                raise
             for (study_index, experiment_index), result in cached.items():
                 slots[study_index][experiment_index] = result
         result = CampaignResult(config=campaign)
@@ -332,11 +422,15 @@ class ExperimentExecutor:
 
             # Workers must keep raw payloads so the coordinator can persist
             # them; the sink above re-applies the configured slimming.
-            slots = self._run(
-                campaign, _fused_task, runner_class,
-                tasks=pending, sink=sink, done_offsets=offsets,
-                keep_raw_override=True,
-            )
+            try:
+                slots = self._run(
+                    campaign, _fused_task, runner_class,
+                    tasks=pending, sink=sink, done_offsets=offsets,
+                    keep_raw_override=True,
+                )
+            except ExecutionInterrupted as error:
+                error.add_note(_resume_hint(store))
+                raise
             # Analyze the cached records in the coordinator, releasing each
             # raw payload as soon as its analysis (and slimming) is done so
             # the resume path does not hold the whole archive in memory.
@@ -496,13 +590,22 @@ class SerialExecutor(ExperimentExecutor):
 
 
 class ProcessPoolExecutor(ExperimentExecutor):
-    """Fan experiments out across a ``multiprocessing`` fork pool.
+    """Fan experiments out across a ``concurrent.futures`` fork pool.
 
     Determinism is preserved by construction: every experiment derives its
     seed from ``RandomStreams(study.seed).derive(f"experiment:{name}:{i}")``
     inside the worker and runs in a private environment, so neither the
     number of workers nor the completion order can alter any result, and
     completions are re-slotted by experiment index before aggregation.
+
+    A crashed worker (OOM-killed, segfaulted, SIGKILLed) breaks the whole
+    pool; instead of surfacing the raw ``BrokenProcessPool`` traceback and
+    abandoning the campaign, the executor keeps every chunk that finished,
+    rebuilds a fresh pool, and retries the lost chunks — up to the
+    configured ``max_retries``, with exponential backoff — before giving
+    up with :class:`~repro.errors.ExecutionInterrupted` naming the lost
+    experiments (and, when a campaign store is attached, how to resume).
+    Determinism makes re-running a lost chunk bit-safe.
     """
 
     def _run(
@@ -524,25 +627,89 @@ class ProcessPoolExecutor(ExperimentExecutor):
         if not items:
             # Fully resumed campaign: nothing to fork for.
             return self._collect(campaign, (), sink=sink, done_offsets=done_offsets)
-        workers = min(self.config.resolved_workers(), len(items))
-        context = multiprocessing.get_context("fork")
         # Publish the campaign (and runner class) before forking: workers
         # inherit them through process memory, so unpicklable study contents
         # never cross the process boundary (only (study, experiment) index
         # pairs do).
         self._publish_state(campaign, runner_class, keep_raw_override)
         try:
-            with context.Pool(processes=workers) as pool:
-                completions = pool.imap_unordered(
-                    task,
-                    items,
-                    chunksize=self.config.resolved_chunk_size(len(items), workers),
-                )
-                return self._collect(
-                    campaign, completions, sink=sink, done_offsets=done_offsets
-                )
+            return self._collect(
+                campaign,
+                self._pool_completions(campaign, task, items),
+                sink=sink,
+                done_offsets=done_offsets,
+            )
         finally:
             _WORKER_STATE.clear()
+
+    def _pool_completions(
+        self, campaign: "CampaignConfig", task, items: list[tuple[int, int]]
+    ) -> Iterator[tuple[int, int, object]]:
+        """Stream completions, surviving broken pools within the retry budget.
+
+        Work is submitted in chunks; a chunk either completes atomically
+        or is still pending when the pool breaks, so the retry set is
+        exactly the unfinished chunks — nothing finished is re-run, and
+        nothing pending is lost.
+        """
+        from repro.dist.supervision import RetryPolicy, SystemClock, supervision_stream
+
+        policy = RetryPolicy.from_execution(self.config)
+        rng = supervision_stream(campaign, "pool-retry-jitter")
+        clock = SystemClock()
+        context = multiprocessing.get_context("fork")
+        pending = list(items)
+        attempt = 0
+        while pending:
+            workers = min(self.config.resolved_workers(), len(pending))
+            chunk_size = self.config.resolved_chunk_size(len(pending), workers)
+            chunks = [
+                pending[offset:offset + chunk_size]
+                for offset in range(0, len(pending), chunk_size)
+            ]
+            finished = [False] * len(chunks)
+            broken: BrokenProcessPool | None = None
+            pool = _futures.ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            try:
+                submitted = [pool.submit(_chunk_task, task, chunk) for chunk in chunks]
+                positions = {future: index for index, future in enumerate(submitted)}
+                for future in _futures.as_completed(submitted):
+                    try:
+                        completions = future.result()
+                    except BrokenProcessPool as error:
+                        # The pool marks every unfinished future broken at
+                        # once; keep draining so finished chunks still yield.
+                        broken = error
+                        continue
+                    finished[positions[future]] = True
+                    yield from completions
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+            if broken is None:
+                return
+            pending = [
+                item
+                for index, chunk in enumerate(chunks)
+                if not finished[index]
+                for item in chunk
+            ]
+            attempt += 1
+            if policy.exhausted(attempt):
+                raise ExecutionInterrupted(
+                    f"a process-pool worker died and {len(pending)} experiment(s) "
+                    f"were still unfinished after {policy.max_retries} retries: "
+                    f"{_describe_tasks(campaign, pending)}",
+                    pending=[
+                        (campaign.studies[study_index].name, experiment_index)
+                        for study_index, experiment_index in pending
+                    ],
+                ) from broken
+            warnings.warn(
+                f"a process-pool worker died with {len(pending)} experiment(s) "
+                f"in flight ({_describe_tasks(campaign, pending)}); rebuilding "
+                f"the pool (retry {attempt} of {policy.max_retries})"
+            )
+            clock.wait(threading.Event(), policy.delay(attempt, rng))
 
 
 _EXECUTORS = {
@@ -554,4 +721,9 @@ _EXECUTORS = {
 def build_executor(config: ExecutionConfig | None) -> ExperimentExecutor:
     """Instantiate the executor class selected by ``config``."""
     config = config or ExecutionConfig()
+    if config.backend == DISTRIBUTED:
+        # Imported lazily: repro.dist builds on this module.
+        from repro.dist.coordinator import DistributedExecutor
+
+        return DistributedExecutor(config)
     return _EXECUTORS[config.backend](config)

@@ -30,6 +30,11 @@ R005      record-format-sync    A module declaring ``RECORD_FORMAT_VERSION`` mus
                                 keep ``READABLE_FORMAT_VERSIONS`` covering every
                                 version ``1..current``: bumping the writer without
                                 keeping old records decodable breaks resume.
+R006      injectable-clock      :mod:`repro.dist` takes time only through the
+                                injected ``SupervisionClock``: no bare
+                                ``time.sleep`` / ``asyncio.sleep`` outside
+                                ``dist/supervision.py``, so supervision logic
+                                stays drivable by ``FakeClock`` in tests.
 ========  ====================  ====================================================
 
 Rules register themselves in :data:`REGISTRY` via :func:`register`, so a
@@ -510,3 +515,71 @@ class RecordFormatSync(Rule):
             else:
                 return None
         return frozenset(versions)
+
+
+# ---------------------------------------------------------------------------
+# R006 injectable-clock
+# ---------------------------------------------------------------------------
+
+_BANNED_SLEEP_CHAINS = frozenset({"time.sleep", "asyncio.sleep"})
+
+
+@register
+class InjectableClock(Rule):
+    """``repro.dist`` takes time only through the injected clock.
+
+    Supervision behavior — heartbeat expiry, retry backoff, connect
+    windows — must be drivable by :class:`repro.dist.supervision.FakeClock`
+    in unit tests, so every sleep and wait in :mod:`repro.dist` goes
+    through the :class:`~repro.dist.supervision.SupervisionClock` seam.
+    Only ``dist/supervision.py`` (where the real clock lives behind that
+    seam) may touch ``time``/``asyncio`` sleeping primitives directly;
+    wall-clock *reads* are already R002's business, which applies in
+    ``dist/`` too.
+    """
+
+    rule_id = "R006"
+    name = "injectable-clock"
+    description = (
+        "repro.dist takes time only through the injected SupervisionClock: "
+        "no bare time.sleep/asyncio.sleep outside dist/supervision.py, so "
+        "supervision logic stays testable with FakeClock instead of real waits"
+    )
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._aliases = ImportAliases()
+
+    def applies(self) -> bool:
+        if not self.ctx.in_directories("dist"):
+            return False
+        return not self.ctx.path_ends_with("dist", "supervision.py")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".", 1)[0] in ("time", "asyncio"):
+                self._aliases.bind_import(alias)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if node.level:
+            return
+        if module in ("time", "asyncio"):
+            for alias in node.names:
+                if alias.name == "sleep":
+                    self.report(
+                        node,
+                        f"bare 'from {module} import sleep' in repro.dist — "
+                        "take time through the injected SupervisionClock so "
+                        "supervision stays testable with FakeClock",
+                    )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = self._aliases.resolve(node)
+        if chain in _BANNED_SLEEP_CHAINS:
+            self.report(
+                node,
+                f"bare '{chain}' in repro.dist — take time through the "
+                "injected SupervisionClock (see dist/supervision.py) so "
+                "supervision stays testable with FakeClock",
+            )

@@ -1,0 +1,108 @@
+"""Shard planning: contiguous seed-range slices of a campaign's experiments.
+
+A *shard* is the unit of distributed dispatch, lease, retry, and
+reassignment: one study's experiments ``start .. stop-1``, i.e. a
+contiguous run of experiment indices and therefore — through the
+seed-derivation contract ``RandomStreams(study.seed).derive(
+f"experiment:{name}:{index}")`` — a contiguous range of the study's seed
+sequence.  Because each seed is a pure function of ``(study, index)``,
+shards are order-independent and idempotent: any worker may run any shard
+any number of times and the merged campaign is bit-identical to a serial
+run.  The planner's only obligations are coverage and disjointness —
+every pending experiment lands in exactly one shard — which the
+property-based partitioner test pins for arbitrary campaign shapes.
+
+Resume makes the pending set gappy (experiments already in the store are
+skipped), so the planner first splits each study's pending indices into
+maximal consecutive runs, then slices each run into at most
+``shard_size`` experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous seed-range shard of a single study.
+
+    ``start``/``stop`` bound the experiment indices (half-open, like a
+    ``range``); ``shard_id`` is the campaign-wide dispatch key the wire
+    protocol and the lease table use.
+    """
+
+    shard_id: int
+    study_index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ValueError(
+                f"shard {self.shard_id} is empty ({self.start}..{self.stop})"
+            )
+
+    @property
+    def size(self) -> int:
+        """How many experiments the shard carries."""
+        return self.stop - self.start
+
+    def tasks(self) -> list[tuple[int, int]]:
+        """The shard's experiments as the engine's (study, index) task ids."""
+        return [(self.study_index, index) for index in range(self.start, self.stop)]
+
+    def describe(self) -> str:
+        """Human-readable form for warnings and supervision logs."""
+        return f"shard {self.shard_id} (study {self.study_index}, experiments {self.start}..{self.stop - 1})"
+
+
+def _consecutive_runs(indices: Sequence[int]) -> Iterable[tuple[int, int]]:
+    """Maximal runs of consecutive values in sorted ``indices``, half-open."""
+    start = previous = indices[0]
+    for index in indices[1:]:
+        if index != previous + 1:
+            yield start, previous + 1
+            start = index
+        previous = index
+    yield start, previous + 1
+
+
+def plan_shards(
+    tasks: Sequence[tuple[int, int]], shard_size: int
+) -> list[ShardSpec]:
+    """Partition ``(study, experiment)`` tasks into contiguous shards.
+
+    Every task appears in exactly one shard; no shard mixes studies or
+    exceeds ``shard_size`` experiments; each shard's index range is
+    consecutive in the pending set (so on a fresh campaign it is a literal
+    seed-range slice ``[start, stop)``).  Task order within the input is
+    irrelevant — shards are planned over the sorted per-study index sets —
+    and so is shard *merge* order, by the seed-derivation contract.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard size must be positive (got {shard_size})")
+    by_study: dict[int, list[int]] = {}
+    for study_index, experiment_index in tasks:
+        by_study.setdefault(study_index, []).append(experiment_index)
+    shards: list[ShardSpec] = []
+    for study_index in sorted(by_study):
+        indices = sorted(set(by_study[study_index]))
+        if len(indices) != len(by_study[study_index]):
+            duplicates = len(by_study[study_index]) - len(indices)
+            raise ValueError(
+                f"study {study_index} lists {duplicates} duplicate pending experiment(s)"
+            )
+        for run_start, run_stop in _consecutive_runs(indices):
+            for start in range(run_start, run_stop, shard_size):
+                stop = min(start + shard_size, run_stop)
+                shards.append(
+                    ShardSpec(
+                        shard_id=len(shards),
+                        study_index=study_index,
+                        start=start,
+                        stop=stop,
+                    )
+                )
+    return shards

@@ -1,0 +1,167 @@
+"""The distributed worker process: run assigned shards, stream records back.
+
+A worker is forked from the coordinating process *after* the campaign has
+been published in ``_WORKER_STATE`` (exactly like the process-pool
+backend), so unpicklable study contents — application factories, often
+closures — reach it through copy-on-write process memory; only shard
+bounds and encoded experiment records ever cross the socket.  The worker
+connects back to the coordinator over localhost, says hello, and then
+loops: lease in (``assign``), run each experiment with the engine's
+canonical per-index seed derivation, stream each completed experiment out
+as an :func:`~repro.store.format.encode_record` string (bit-exact round
+trip), acknowledge the lease (``shard-done``), repeat until ``shutdown``.
+
+Liveness is a daemon thread beating every ``heartbeat_interval_s`` on the
+shared channel; the experiment loop never has to pause for it, so a
+long-running experiment cannot be mistaken for a dead worker while the
+thread keeps beating.  All waiting goes through the injected supervision
+clock (lint rule R006).
+
+:class:`WorkerOptions` carries the per-worker spawn parameters — and the
+chaos seams the fault-injection harness under ``tests/chaos/`` drives:
+``heartbeat_interval_s=None`` silences the beacon (a dropped-heartbeat
+fault), ``stall_before_work_s`` freezes the worker after hello (a hang),
+and ``duplicate_completions`` sends every record twice (a duplicated-
+delivery fault, resolved idempotently by the coordinator).  Injecting
+faults into the orchestrator itself is how the paper's own methodology
+gets applied to this backend.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any
+
+from repro.dist import protocol
+from repro.dist.supervision import SupervisionClock, SystemClock
+from repro.errors import ProtocolError
+from repro.store.format import encode_record
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Spawn-time parameters of one worker (picklable, crosses the fork).
+
+    ``heartbeat_interval_s=None`` disables the heartbeat thread;
+    ``stall_before_work_s`` and ``duplicate_completions`` are chaos seams
+    (see the module docstring).
+    """
+
+    worker_id: int
+    port: int
+    heartbeat_interval_s: float | None = 0.5
+    stall_before_work_s: float = 0.0
+    duplicate_completions: bool = False
+
+
+class _HeartbeatThread(threading.Thread):
+    """Daemon thread beating on the shared channel every interval."""
+
+    def __init__(
+        self,
+        channel: protocol.MessageChannel,
+        worker_id: int,
+        interval_s: float,
+        clock: SupervisionClock,
+    ) -> None:
+        super().__init__(name=f"dist-worker-{worker_id}-heartbeat", daemon=True)
+        self._channel = channel
+        self._worker_id = worker_id
+        self._interval_s = interval_s
+        self._clock = clock
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._clock.wait(self._stop, self._interval_s):
+            try:
+                self._channel.send({"type": protocol.HEARTBEAT, "worker": self._worker_id})
+            except OSError:
+                return  # coordinator is gone; the main loop notices too
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def _run_shard(
+    channel: protocol.MessageChannel,
+    message: dict[str, Any],
+    options: WorkerOptions,
+) -> None:
+    """Run one assigned shard, streaming a record per experiment."""
+    from repro.core.execution import _WORKER_STATE
+
+    campaign = _WORKER_STATE["campaign"]
+    runner = _WORKER_STATE["runner"]
+    shard_id = message["shard"]
+    study = campaign.studies[message["study"]]
+    for index in range(message["start"], message["stop"]):
+        try:
+            result = runner.run_experiment_of(study, index)
+        except Exception:
+            channel.send(
+                {
+                    "type": protocol.ERROR,
+                    "worker": options.worker_id,
+                    "shard": shard_id,
+                    "study": message["study"],
+                    "index": index,
+                    "message": traceback.format_exc(),
+                }
+            )
+            raise
+        completion = {
+            "type": protocol.COMPLETION,
+            "worker": options.worker_id,
+            "shard": shard_id,
+            "study": message["study"],
+            "index": index,
+            "record": encode_record(result),
+        }
+        channel.send(completion)
+        if options.duplicate_completions:
+            channel.send(completion)
+    channel.send(
+        {"type": protocol.SHARD_DONE, "worker": options.worker_id, "shard": shard_id}
+    )
+
+
+def worker_main(options: WorkerOptions, clock: SupervisionClock | None = None) -> None:
+    """Entry point of a forked worker process.
+
+    Exits quietly when the coordinator closes the connection (clean
+    shutdown, or this worker was declared dead and superseded — its work
+    is being redone elsewhere, so dying silently is the correct move).
+    """
+    clock = clock or SystemClock()
+    try:
+        sock = socket.create_connection(("127.0.0.1", options.port), timeout=30.0)
+    except OSError:
+        return  # coordinator already gone; nothing to do
+    sock.settimeout(None)
+    channel = protocol.MessageChannel(sock)
+    heartbeat: _HeartbeatThread | None = None
+    try:
+        channel.send({"type": protocol.HELLO, "worker": options.worker_id})
+        if options.heartbeat_interval_s is not None:
+            heartbeat = _HeartbeatThread(
+                channel, options.worker_id, options.heartbeat_interval_s, clock
+            )
+            heartbeat.start()
+        if options.stall_before_work_s:
+            stalled = threading.Event()
+            clock.wait(stalled, options.stall_before_work_s)
+        while True:
+            message = channel.recv()
+            if message is None or message["type"] == protocol.SHUTDOWN:
+                return
+            if message["type"] == protocol.ASSIGN:
+                _run_shard(channel, message, options)
+    except (OSError, ProtocolError):
+        return  # connection torn down under us: superseded or shut down
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        channel.close()

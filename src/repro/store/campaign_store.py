@@ -354,6 +354,31 @@ class CampaignStore:
                 admit(result)
         return records
 
+    def content_fingerprint(self) -> str:
+        """A stable digest of every experiment the store holds.
+
+        The SHA-256 of the canonical JSON of ``{study: {index: payload}}``
+        over all valid records, after per-index supersede resolution —
+        independent of codec, record order, append history, and duplicated
+        deliveries.  Two stores fingerprint identically exactly when they
+        hold bit-identical experiment payloads, which is what the chaos
+        harness asserts: a campaign that survived worker crashes, shard
+        reassignment, and duplicate completions must fingerprint the same
+        as one that ran serially.
+        """
+        from repro.store.format import result_to_dict
+
+        manifest = self.read_manifest()
+        content: dict[str, dict[str, object]] = {}
+        for name in sorted(manifest.studies):
+            records = self.load_study_records(name)
+            content[name] = {
+                str(index): result_to_dict(records[index])
+                for index in sorted(records)
+            }
+        canonical = json.dumps(content, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def verify(self) -> dict[str, StoreReport]:
         """Scan every record file and report valid/corrupt/superseded counts.
 

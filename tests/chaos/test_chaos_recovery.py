@@ -1,0 +1,302 @@
+"""Chaos tests: fault injection into the distributed orchestrator itself.
+
+The paper's methodology — inject faults, observe whether the system's
+behaviour stays within its specification — applied to the backend that
+runs the paper's campaigns.  Each test injects a real fault into a live
+coordinator/worker fleet (SIGKILL mid-shard, dropped heartbeats, a hung
+worker, duplicated completions, a killed coordinator) and then asserts
+the *strongest* possible specification: the recovered campaign's measures
+and its store fingerprint are **bit-identical** to an undisturbed serial
+run.  The seed-derivation contract is what makes that assertion possible
+— every experiment's seed is a pure function of (study, index), so no
+matter which worker re-ran what, the merged records must match exactly.
+
+This module is self-contained (the ``tests/chaos/`` directory is its own
+rootdir for imports) so CI's ``chaos-smoke`` job can run it in isolation.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.toggle import build_toggle_study
+from repro.core.campaign import CampaignConfig
+from repro.core.execution import DISTRIBUTED, ExecutionConfig, available_backends
+from repro.dist import CampaignCoordinator, DistributedExecutor, WorkerOptions
+from repro.measures import (
+    MeasureStep,
+    SimpleSamplingMeasure,
+    StateTuple,
+    StudyMeasure,
+    TotalDuration,
+    estimate_campaign_measure,
+)
+from repro.pipeline import run_and_analyze
+from repro.store import CampaignStore
+
+needs_fork = pytest.mark.skipif(
+    DISTRIBUTED not in available_backends(),
+    reason="distributed backend needs the fork start method",
+)
+
+#: Supervision tuned for chaos: fast heartbeats, fast death verdicts,
+#: near-instant retries — so injected faults are detected in tens of
+#: milliseconds and each test finishes in well under a second.
+CHAOS_KNOBS = dict(
+    heartbeat_interval_s=0.05,
+    heartbeat_timeout_s=0.25,
+    retry_backoff_base_s=0.01,
+)
+
+
+def build_campaign(experiments: int = 8) -> CampaignConfig:
+    study_a = build_toggle_study(
+        "alpha", dwell_time=0.02, timeslice=0.002, cycles=3,
+        experiments=experiments, seed=11,
+    )
+    study_b = build_toggle_study(
+        "beta", dwell_time=0.03, timeslice=0.002, cycles=3,
+        experiments=experiments, seed=22,
+    )
+    return CampaignConfig(name="chaos-test", studies=[study_a, study_b])
+
+
+DRIVER_MEASURE = StudyMeasure(
+    name="driver-active",
+    steps=(MeasureStep(StateTuple("driver", "ACTIVE"), TotalDuration("T")),),
+)
+
+
+def campaign_measures_of(analysis) -> dict:
+    """Every downstream quantity, in exactly comparable (bit-exact) form."""
+    study_measures = {name: DRIVER_MEASURE for name in analysis.studies}
+    estimate = estimate_campaign_measure(
+        SimpleSamplingMeasure("driver-active"), analysis, study_measures
+    )
+    return {
+        "values": analysis.measure_values(study_measures),
+        "acceptance": analysis.acceptance_summary(),
+        "seeds": {
+            name: [e.result.seed for e in study.experiments]
+            for name, study in analysis.studies.items()
+        },
+        "estimate": estimate.to_dict(),
+    }
+
+
+def serial_baseline(campaign, tmp_path):
+    """The undisturbed run every chaos run must match bit for bit."""
+    store = CampaignStore(tmp_path / "serial")
+    analysis = run_and_analyze(campaign, ExecutionConfig.serial(), store=store)
+    return campaign_measures_of(analysis), store.content_fingerprint()
+
+
+def run_with_chaos(executor_class, campaign, config, tmp_path):
+    """One chaos run, returning (measures, fingerprint, coordinator stats)."""
+    executor = executor_class(config)
+    store = CampaignStore(tmp_path / "chaos")
+    analysis = executor.run_and_analyze(campaign, store=store)
+    coordinator = executor_class.coordinator_class.instances[-1]
+    return (
+        campaign_measures_of(analysis),
+        store.content_fingerprint(),
+        coordinator.stats,
+    )
+
+
+class Recording(CampaignCoordinator):
+    """Base chaos coordinator: keeps every instance for stats inspection."""
+
+    instances: list["Recording"]
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.instances = []
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        type(self).instances.append(self)
+
+
+@needs_fork
+class TestWorkerSigkill:
+    def test_sigkill_mid_shard_recovers_bit_identical(self, tmp_path):
+        # SIGKILL the worker that delivers the first completion.  Its
+        # shard (6 experiments) is mid-flight, so the lease is torn and
+        # must be re-run elsewhere; the already-delivered experiment comes
+        # back a second time and must be dropped, not double-counted.
+        class Killer(Recording):
+            def __init__(self, *args, **kwargs) -> None:
+                super().__init__(*args, **kwargs)
+                self.killed: list[int] = []
+
+            def chaos_on_completion(self, worker_id, study_index, experiment_index):
+                if not self.killed:
+                    self.killed.append(worker_id)
+                    os.kill(self.workers[worker_id].process.pid, signal.SIGKILL)
+
+        class ChaosExecutor(DistributedExecutor):
+            coordinator_class = Killer
+
+        campaign = build_campaign(experiments=8)
+        baseline, base_print = serial_baseline(campaign, tmp_path)
+        config = ExecutionConfig.distributed(workers=3, chunk_size=6, **CHAOS_KNOBS)
+        measures, fingerprint, stats = run_with_chaos(
+            ChaosExecutor, campaign, config, tmp_path
+        )
+        assert Killer.instances[-1].killed, "chaos never fired"
+        assert stats["workers_lost"] >= 1
+        assert stats["reassignments"] >= 1
+        assert measures == baseline
+        assert fingerprint == base_print
+
+    def test_sigkill_two_workers_still_converges(self, tmp_path):
+        # Lose two of three workers, one per early completion; the fleet
+        # of one must still finish the campaign bit-identically (retry
+        # budget raised: the same shard may be torn twice).
+        class DoubleKiller(Recording):
+            def __init__(self, *args, **kwargs) -> None:
+                super().__init__(*args, **kwargs)
+                self.killed: list[int] = []
+
+            def chaos_on_completion(self, worker_id, study_index, experiment_index):
+                if len(self.killed) < 2 and worker_id not in self.killed:
+                    self.killed.append(worker_id)
+                    os.kill(self.workers[worker_id].process.pid, signal.SIGKILL)
+
+        class ChaosExecutor(DistributedExecutor):
+            coordinator_class = DoubleKiller
+
+        campaign = build_campaign(experiments=8)
+        baseline, base_print = serial_baseline(campaign, tmp_path)
+        config = ExecutionConfig.distributed(
+            workers=3, chunk_size=6, max_retries=4, **CHAOS_KNOBS
+        )
+        measures, fingerprint, stats = run_with_chaos(
+            ChaosExecutor, campaign, config, tmp_path
+        )
+        assert len(DoubleKiller.instances[-1].killed) == 2
+        assert stats["workers_lost"] >= 2
+        assert measures == baseline
+        assert fingerprint == base_print
+
+
+@needs_fork
+class TestDroppedHeartbeats:
+    def test_silent_hung_worker_is_declared_dead_and_reassigned(self, tmp_path):
+        # Worker 0 connects, takes a lease, then hangs with its heartbeat
+        # beacon disabled — the fault the heartbeat monitor exists for.
+        # Its silence must cross the timeout, the lease must move to the
+        # healthy worker, and the result must not change by a bit.
+        class Muzzled(Recording):
+            def worker_options(self, worker_id: int) -> WorkerOptions:
+                options = super().worker_options(worker_id)
+                if worker_id == 0:
+                    return replace(
+                        options,
+                        heartbeat_interval_s=None,
+                        stall_before_work_s=5.0,
+                    )
+                return options
+
+        class ChaosExecutor(DistributedExecutor):
+            coordinator_class = Muzzled
+
+        campaign = build_campaign(experiments=4)
+        baseline, base_print = serial_baseline(campaign, tmp_path)
+        config = ExecutionConfig.distributed(workers=2, chunk_size=4, **CHAOS_KNOBS)
+        measures, fingerprint, stats = run_with_chaos(
+            ChaosExecutor, campaign, config, tmp_path
+        )
+        assert stats["workers_lost"] >= 1
+        assert stats["reassignments"] >= 1
+        assert measures == baseline
+        assert fingerprint == base_print
+
+
+@needs_fork
+class TestDuplicatedCompletions:
+    def test_every_record_sent_twice_is_merged_once(self, tmp_path):
+        # Every worker sends every completion twice (an at-least-once
+        # delivery fault).  Idempotent first-wins dedup must keep exactly
+        # one record per experiment — the store fingerprint proves no
+        # duplicate ever reached disk.
+        class Stutterer(Recording):
+            def worker_options(self, worker_id: int) -> WorkerOptions:
+                return replace(
+                    super().worker_options(worker_id), duplicate_completions=True
+                )
+
+        class ChaosExecutor(DistributedExecutor):
+            coordinator_class = Stutterer
+
+        campaign = build_campaign(experiments=4)
+        baseline, base_print = serial_baseline(campaign, tmp_path)
+        config = ExecutionConfig.distributed(workers=2, chunk_size=2, **CHAOS_KNOBS)
+        measures, fingerprint, stats = run_with_chaos(
+            ChaosExecutor, campaign, config, tmp_path
+        )
+        assert stats["duplicates_dropped"] >= stats["completions"]
+        assert measures == baseline
+        assert fingerprint == base_print
+
+
+@needs_fork
+class TestCoordinatorDeath:
+    def test_killed_coordinator_heals_from_store_under_chaos(self, tmp_path):
+        # Compound fault: a worker is SIGKILLed mid-shard AND the
+        # coordinating process dies partway through (simulated by raising
+        # out of the progress callback, which tears down the pump exactly
+        # like a crash would).  A rerun against the same store must heal
+        # to the serial baseline, resimulating only what is missing.
+        class Killer(Recording):
+            def __init__(self, *args, **kwargs) -> None:
+                super().__init__(*args, **kwargs)
+                self.killed: list[int] = []
+
+            def chaos_on_completion(self, worker_id, study_index, experiment_index):
+                if not self.killed:
+                    self.killed.append(worker_id)
+                    os.kill(self.workers[worker_id].process.pid, signal.SIGKILL)
+
+        class ChaosExecutor(DistributedExecutor):
+            coordinator_class = Killer
+
+        class CoordinatorKilled(RuntimeError):
+            pass
+
+        campaign = build_campaign(experiments=6)
+        baseline, base_print = serial_baseline(campaign, tmp_path)
+        store_path = tmp_path / "chaos"
+
+        completions = 0
+
+        def die_after_five(name: str, done: int, total: int) -> None:
+            nonlocal completions
+            completions += 1
+            if completions >= 5:
+                raise CoordinatorKilled()
+
+        first = ExecutionConfig.distributed(
+            workers=2, chunk_size=3, progress=die_after_five, **CHAOS_KNOBS
+        )
+        with pytest.raises(CoordinatorKilled):
+            ChaosExecutor(first).run_and_analyze(
+                campaign, store=CampaignStore(store_path)
+            )
+        persisted = sum(
+            report.valid for report in CampaignStore(store_path).verify().values()
+        )
+        assert persisted >= 5
+
+        # The restarted campaign: no chaos this time, same store.
+        rerun = ExecutionConfig.distributed(workers=2, chunk_size=3, **CHAOS_KNOBS)
+        analysis = DistributedExecutor(rerun).run_and_analyze(
+            campaign, store=CampaignStore(store_path)
+        )
+        assert campaign_measures_of(analysis) == baseline
+        assert CampaignStore(store_path).content_fingerprint() == base_print

@@ -1,0 +1,17 @@
+"""Bad: dist code sleeping on the real clock instead of the injected one."""
+
+import asyncio
+import time
+from time import sleep
+
+
+def pace_retry(delay: float) -> None:
+    time.sleep(delay)  # R006: bare time.sleep in repro.dist
+
+
+def stall(delay: float) -> None:
+    sleep(delay)  # R006: via `from time import sleep` above
+
+
+async def supervise_tick(interval: float) -> None:
+    await asyncio.sleep(interval)  # R006: bare asyncio.sleep in repro.dist

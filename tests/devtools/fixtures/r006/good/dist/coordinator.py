@@ -1,0 +1,12 @@
+"""Good: dist code taking all of its time through the injected clock."""
+
+
+class Coordinator:
+    def __init__(self, clock) -> None:
+        self.clock = clock
+
+    async def pace_retry(self, delay: float) -> None:
+        await self.clock.sleep(delay)
+
+    async def supervise_tick(self, interval: float) -> None:
+        await self.clock.sleep(interval)

@@ -2,7 +2,7 @@
 
 Three layers:
 
-* every rule R001–R005 has a paired bad/good fixture tree under
+* every rule R001–R006 has a paired bad/good fixture tree under
   ``tests/devtools/fixtures/`` — the bad tree must produce findings of
   exactly that rule, the good tree must lint clean;
 * the real ``src/`` tree must lint clean (the same invocation CI runs),
@@ -26,7 +26,7 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
 
-RULE_IDS = ("R001", "R002", "R003", "R004", "R005")
+RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006")
 
 
 def lint_env() -> dict:

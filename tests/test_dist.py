@@ -1,0 +1,541 @@
+"""Tests of the fault-tolerant distributed execution backend (repro.dist).
+
+Four layers:
+
+* the wire protocol's framing and its torn-connection semantics;
+* the shard planner's partition property — every pending experiment in
+  exactly one shard — for arbitrary campaign shapes (seeded table always,
+  hypothesis when installed);
+* the supervision primitives (retry policy, heartbeat monitor) driven by
+  a ``FakeClock`` in zero real time;
+* the backend end to end: bit-identical to serial, streaming into a
+  campaign store, resuming a killed campaign, and degrading gracefully
+  when workers are missing.  (Fault *injection* — SIGKILL, dropped
+  heartbeats, duplicated completions — lives in ``tests/chaos/``.)
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.toggle import build_toggle_study
+from repro.core.campaign import CampaignConfig
+from repro.core.execution import (
+    DISTRIBUTED,
+    ExecutionConfig,
+    available_backends,
+    build_executor,
+)
+from repro.dist import (
+    CampaignCoordinator,
+    DistributedExecutor,
+    FakeClock,
+    HeartbeatMonitor,
+    MessageChannel,
+    RetryPolicy,
+    ShardSpec,
+    decode_frames,
+    encode_frame,
+    plan_shards,
+)
+from repro.dist.supervision import supervision_stream
+from repro.dist.worker import WorkerOptions
+from repro.errors import (
+    NoWorkersError,
+    ProtocolError,
+    RuntimeConfigurationError,
+)
+from repro.measures import (
+    MeasureStep,
+    SimpleSamplingMeasure,
+    StateTuple,
+    StudyMeasure,
+    TotalDuration,
+    estimate_campaign_measure,
+)
+from repro.pipeline import run_and_analyze
+from repro.sim.rng import RandomStreams
+from repro.store import CampaignStore
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ModuleNotFoundError:  # pragma: no cover - exercised on minimal installs
+    HAVE_HYPOTHESIS = False
+
+needs_fork = pytest.mark.skipif(
+    DISTRIBUTED not in available_backends(),
+    reason="distributed backend needs the fork start method",
+)
+
+
+def build_campaign(experiments: int = 4) -> CampaignConfig:
+    study_a = build_toggle_study(
+        "alpha", dwell_time=0.02, timeslice=0.002, cycles=3,
+        experiments=experiments, seed=11,
+    )
+    study_b = build_toggle_study(
+        "beta", dwell_time=0.03, timeslice=0.002, cycles=3,
+        experiments=experiments, seed=22,
+    )
+    return CampaignConfig(name="dist-test", studies=[study_a, study_b])
+
+
+DRIVER_MEASURE = StudyMeasure(
+    name="driver-active",
+    steps=(MeasureStep(StateTuple("driver", "ACTIVE"), TotalDuration("T")),),
+)
+
+
+def campaign_measures_of(analysis) -> dict:
+    """Every downstream quantity, in exactly comparable (bit-exact) form."""
+    study_measures = {name: DRIVER_MEASURE for name in analysis.studies}
+    estimate = estimate_campaign_measure(
+        SimpleSamplingMeasure("driver-active"), analysis, study_measures
+    )
+    return {
+        "values": analysis.measure_values(study_measures),
+        "acceptance": analysis.acceptance_summary(),
+        "seeds": {
+            name: [e.result.seed for e in study.experiments]
+            for name, study in analysis.studies.items()
+        },
+        "estimate": estimate.to_dict(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolFraming:
+    def test_frame_roundtrip(self):
+        messages = [
+            {"type": "hello", "worker": 0},
+            {"type": "completion", "worker": 1, "study": 0, "index": 7, "record": "x" * 100},
+            {"type": "shard-done", "worker": 1, "shard": 3},
+        ]
+        data = b"".join(encode_frame(message) for message in messages)
+        assert list(decode_frames(data)) == messages
+
+    def test_truncated_frame_raises(self):
+        data = encode_frame({"type": "hello", "worker": 0})
+        with pytest.raises(ProtocolError, match="truncated"):
+            list(decode_frames(data[:-3]))
+
+    def test_untyped_message_rejected(self):
+        import json
+        import struct
+
+        payload = json.dumps(["not", "a", "message"]).encode()
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="typed message"):
+            list(decode_frames(data))
+
+    def test_message_channel_roundtrip_and_eof(self):
+        left, right = socket.socketpair()
+        sender, receiver = MessageChannel(left), MessageChannel(right)
+        sender.send({"type": "heartbeat", "worker": 2})
+        sender.send({"type": "shard-done", "worker": 2, "shard": 0})
+        assert receiver.recv() == {"type": "heartbeat", "worker": 2}
+        assert receiver.recv() == {"type": "shard-done", "worker": 2, "shard": 0}
+        sender.close()
+        assert receiver.recv() is None  # clean EOF between frames
+        receiver.close()
+
+    def test_message_channel_torn_frame_raises(self):
+        left, right = socket.socketpair()
+        receiver = MessageChannel(right)
+        frame = encode_frame({"type": "hello", "worker": 0})
+        left.sendall(frame[: len(frame) - 2])  # die mid-frame, like SIGKILL
+        left.close()
+        with pytest.raises(ProtocolError, match="connection lost"):
+            receiver.recv()
+        receiver.close()
+
+    def test_channel_sends_are_thread_safe(self):
+        # The heartbeat thread and the experiment loop share one channel;
+        # interleaved sends must never interleave frames.
+        left, right = socket.socketpair()
+        sender, receiver = MessageChannel(left), MessageChannel(right)
+        per_thread = 50
+
+        def blast(worker_id: int) -> None:
+            for index in range(per_thread):
+                sender.send({"type": "completion", "worker": worker_id,
+                             "study": 0, "index": index, "record": "r" * 512})
+
+        threads = [threading.Thread(target=blast, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        received = [receiver.recv() for _ in range(4 * per_thread)]
+        for thread in threads:
+            thread.join()
+        assert all(message["type"] == "completion" for message in received)
+        assert len(received) == 4 * per_thread
+        sender.close()
+        receiver.close()
+
+
+# ---------------------------------------------------------------------------
+# Shard planning: the partition property
+# ---------------------------------------------------------------------------
+
+
+def check_partition(tasks: list[tuple[int, int]], shard_size: int) -> None:
+    """Every task in exactly one shard; no shard oversized or mixed."""
+    shards = plan_shards(tasks, shard_size)
+    covered: list[tuple[int, int]] = []
+    for shard in shards:
+        assert 1 <= shard.size <= shard_size
+        covered.extend(shard.tasks())
+    assert sorted(covered) == sorted(tasks)
+    assert len(covered) == len(set(covered))
+    assert [shard.shard_id for shard in shards] == list(range(len(shards)))
+
+
+class TestShardPlanner:
+    #: (study sizes, shard size) shapes covering the interesting regimes.
+    SEEDED_SHAPES = (
+        ((1,), 1),
+        ((7,), 3),
+        ((8,), 8),
+        ((5, 5), 2),
+        ((3, 1, 9), 4),
+        ((100,), 7),
+        ((2, 2, 2, 2), 1),
+    )
+
+    @pytest.mark.parametrize("sizes,shard_size", SEEDED_SHAPES)
+    def test_partition_property_seeded(self, sizes, shard_size):
+        tasks = [
+            (study_index, experiment_index)
+            for study_index, size in enumerate(sizes)
+            for experiment_index in range(size)
+        ]
+        check_partition(tasks, shard_size)
+
+    def test_partition_of_gappy_resume_sets(self):
+        # Resume skips cached experiments, so the pending set has holes;
+        # shards must never span a hole (they are seed-range slices).
+        tasks = [(0, i) for i in (0, 1, 2, 5, 6, 9)] + [(1, i) for i in (4, 5)]
+        check_partition(tasks, 2)
+        shards = plan_shards(tasks, 10)
+        spans = [(s.study_index, s.start, s.stop) for s in shards]
+        assert spans == [(0, 0, 3), (0, 5, 7), (0, 9, 10), (1, 4, 6)]
+
+    def test_task_order_is_irrelevant(self):
+        tasks = [(0, i) for i in range(9)] + [(1, i) for i in range(4)]
+        shuffled = list(reversed(tasks))
+        assert plan_shards(tasks, 4) == plan_shards(shuffled, 4)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            plan_shards([(0, 1), (0, 1)], 2)
+
+    def test_empty_shard_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ShardSpec(shard_id=0, study_index=0, start=3, stop=3)
+
+    def test_nonpositive_shard_size_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan_shards([(0, 0)], 0)
+
+    if HAVE_HYPOTHESIS:
+
+        @given(
+            sizes=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=5),
+            shard_size=st.integers(min_value=1, max_value=50),
+            drop_seed=st.integers(min_value=0, max_value=2**31),
+        )
+        @settings(max_examples=60, deadline=None)
+        def test_partition_property_hypothesis(self, sizes, shard_size, drop_seed):
+            # Arbitrary study sizes with pseudo-random holes (a resume set).
+            tasks = []
+            for study_index, size in enumerate(sizes):
+                for experiment_index in range(size):
+                    gate = RandomStreams(drop_seed).derive(
+                        f"drop:{study_index}:{experiment_index}"
+                    )
+                    if gate % 4:  # keep ~75%
+                        tasks.append((study_index, experiment_index))
+            if tasks:
+                check_partition(tasks, shard_size)
+            else:
+                assert plan_shards(tasks, shard_size) == []
+
+
+# ---------------------------------------------------------------------------
+# Supervision primitives (no real time: FakeClock throughout)
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_exhaustion_boundary(self):
+        policy = RetryPolicy(max_retries=2)
+        assert not policy.exhausted(1)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert RetryPolicy(max_retries=0).exhausted(1)
+
+    def test_delay_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=1.0, jitter=0.5)
+        rng = RandomStreams(0).stream("test-jitter")
+        for attempt, base in ((1, 0.1), (2, 0.2), (3, 0.4), (4, 0.8), (5, 1.0), (6, 1.0)):
+            delay = policy.delay(attempt, rng)
+            assert base <= delay <= base * 1.5
+
+    def test_delay_attempts_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay(0, RandomStreams(0).stream("x"))
+
+    def test_from_execution_carries_the_knobs(self):
+        config = ExecutionConfig(max_retries=5, retry_backoff_base_s=0.5)
+        policy = RetryPolicy.from_execution(config)
+        assert policy.max_retries == 5
+        assert policy.backoff_base_s == 0.5
+
+    def test_supervision_stream_is_reproducible_and_namespaced(self):
+        campaign = build_campaign(experiments=1)
+        first = supervision_stream(campaign).random()
+        again = supervision_stream(campaign).random()
+        assert first == again  # pure function of the configuration
+        # ...and disjoint from the experiment seed derivation.
+        experiment_rng = RandomStreams(campaign.studies[0].seed)
+        assert supervision_stream(campaign).random() != experiment_rng.stream(
+            "dist-supervision"
+        ).random()
+
+
+class TestHeartbeatMonitor:
+    def test_expiry_is_clock_driven(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(timeout_s=1.0, clock=clock)
+        monitor.beat(0)
+        monitor.beat(1)
+        assert monitor.expired() == []
+        clock.advance(0.9)
+        monitor.beat(1)  # worker 1 keeps beating
+        clock.advance(0.2)  # worker 0 now silent for 1.1s
+        assert monitor.expired() == [0]
+        assert monitor.silence(0) == pytest.approx(1.1)
+
+    def test_forget_stops_watching(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(timeout_s=0.5, clock=clock)
+        monitor.beat(3)
+        monitor.forget(3)
+        clock.advance(10.0)
+        assert monitor.expired() == []
+        assert monitor.watched() == ()
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            HeartbeatMonitor(timeout_s=0, clock=FakeClock())
+
+
+# ---------------------------------------------------------------------------
+# ExecutionConfig knobs
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionConfigKnobs:
+    def test_distributed_backend_is_registered(self):
+        if "fork" in __import__("multiprocessing").get_all_start_methods():
+            assert DISTRIBUTED in available_backends()
+
+    def test_distributed_constructor(self):
+        config = ExecutionConfig.distributed(workers=4, chunk_size=3)
+        assert config.backend == DISTRIBUTED
+        assert config.workers == 4
+        assert isinstance(build_executor(config), DistributedExecutor)
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"max_retries": -1}, "max_retries"),
+            ({"retry_backoff_base_s": 0.0}, "backoff"),
+            ({"heartbeat_interval_s": 0.0}, "interval"),
+            ({"heartbeat_timeout_s": 0.1, "heartbeat_interval_s": 0.5}, "exceed"),
+        ],
+    )
+    def test_retry_knob_validation(self, kwargs, match):
+        with pytest.raises(RuntimeConfigurationError, match=match):
+            ExecutionConfig(**kwargs)
+
+    def test_knobs_participate_in_config_identity(self):
+        assert ExecutionConfig(max_retries=1) != ExecutionConfig(max_retries=2)
+
+
+# ---------------------------------------------------------------------------
+# The backend end to end
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestDistributedEquivalence:
+    def test_bit_identical_to_serial(self):
+        campaign = build_campaign(experiments=4)
+        serial = run_and_analyze(campaign, ExecutionConfig.serial())
+        dist = run_and_analyze(
+            campaign, ExecutionConfig.distributed(workers=3, chunk_size=2)
+        )
+        assert campaign_measures_of(serial) == campaign_measures_of(dist)
+
+    def test_single_worker_single_shard(self):
+        campaign = build_campaign(experiments=2)
+        serial = run_and_analyze(campaign, ExecutionConfig.serial())
+        dist = run_and_analyze(
+            campaign, ExecutionConfig.distributed(workers=1, chunk_size=50)
+        )
+        assert campaign_measures_of(serial) == campaign_measures_of(dist)
+
+    def test_store_streaming_matches_serial_store(self, tmp_path):
+        campaign = build_campaign(experiments=3)
+        serial = run_and_analyze(
+            campaign, ExecutionConfig.serial(), store=CampaignStore(tmp_path / "s")
+        )
+        dist = run_and_analyze(
+            campaign,
+            ExecutionConfig.distributed(workers=2, chunk_size=2),
+            store=CampaignStore(tmp_path / "d"),
+        )
+        assert campaign_measures_of(serial) == campaign_measures_of(dist)
+        serial_store = CampaignStore(tmp_path / "s")
+        dist_store = CampaignStore(tmp_path / "d")
+        assert (
+            serial_store.content_fingerprint() == dist_store.content_fingerprint()
+        )
+        reports = dist_store.verify()
+        assert all(report.valid == 3 and report.corrupt == 0 for report in reports.values())
+
+    def test_killed_campaign_heals_from_store(self, tmp_path):
+        campaign = build_campaign(experiments=4)
+        baseline = campaign_measures_of(
+            run_and_analyze(
+                campaign, ExecutionConfig.serial(), store=CampaignStore(tmp_path / "s")
+            )
+        )
+
+        class KilledMidway(RuntimeError):
+            pass
+
+        completed = 0
+
+        def die_after_three(name: str, done: int, total: int) -> None:
+            nonlocal completed
+            completed += 1
+            if completed >= 3:
+                raise KilledMidway()
+
+        with pytest.raises(KilledMidway):
+            run_and_analyze(
+                campaign,
+                ExecutionConfig.distributed(
+                    workers=2, chunk_size=2, progress=die_after_three
+                ),
+                store=CampaignStore(tmp_path / "d"),
+            )
+        # The first three completions reached the store before the kill...
+        persisted = sum(
+            report.valid for report in CampaignStore(tmp_path / "d").verify().values()
+        )
+        assert persisted >= 3
+        # ...and a rerun with the same store heals to the serial baseline.
+        resumed = run_and_analyze(
+            campaign,
+            ExecutionConfig.distributed(workers=2, chunk_size=2),
+            store=CampaignStore(tmp_path / "d"),
+        )
+        assert campaign_measures_of(resumed) == baseline
+        assert (
+            CampaignStore(tmp_path / "d").content_fingerprint()
+            == CampaignStore(tmp_path / "s").content_fingerprint()
+        )
+
+    def test_progress_streams_completions(self):
+        campaign = build_campaign(experiments=3)
+        seen: list[tuple[str, int, int]] = []
+        run_and_analyze(
+            campaign,
+            ExecutionConfig.distributed(
+                workers=2, chunk_size=1, progress=lambda *event: seen.append(event)
+            ),
+        )
+        assert len(seen) == 6
+        assert {name for name, _, _ in seen} == {"alpha", "beta"}
+        for name, done, total in seen:
+            assert 1 <= done <= total == 3
+
+
+@needs_fork
+class TestGracefulDegradation:
+    def test_zero_workers_falls_back_to_serial(self):
+        # Workers aimed at a dead port never connect; after the connect
+        # window the coordinator gives up and the backend runs in-process.
+        class DeafCoordinator(CampaignCoordinator):
+            def worker_options(self, worker_id: int) -> WorkerOptions:
+                options = super().worker_options(worker_id)
+                return replace(options, port=_unused_port())
+
+        class FallbackExecutor(DistributedExecutor):
+            coordinator_class = DeafCoordinator
+            connect_timeout_s = 0.5
+
+        campaign = build_campaign(experiments=2)
+        serial = campaign_measures_of(run_and_analyze(campaign, ExecutionConfig.serial()))
+        executor = FallbackExecutor(ExecutionConfig.distributed(workers=2))
+        with pytest.warns(UserWarning, match="falling back"):
+            analysis = executor.run_and_analyze(campaign)
+        assert campaign_measures_of(analysis) == serial
+
+    def test_missing_workers_degrade_with_warning(self):
+        # One worker of three aims at a dead port: the campaign completes
+        # on the surviving fleet, warning about the degradation.  The live
+        # workers stall briefly after hello so the census (0.3s) fires
+        # while the campaign is still in flight.
+        class HalfDeafCoordinator(CampaignCoordinator):
+            def worker_options(self, worker_id: int) -> WorkerOptions:
+                options = super().worker_options(worker_id)
+                if worker_id == 0:
+                    return replace(options, port=_unused_port())
+                return replace(options, stall_before_work_s=0.8)
+
+        class DegradedExecutor(DistributedExecutor):
+            coordinator_class = HalfDeafCoordinator
+            connect_timeout_s = 0.3
+
+        campaign = build_campaign(experiments=3)
+        serial = campaign_measures_of(run_and_analyze(campaign, ExecutionConfig.serial()))
+        executor = DegradedExecutor(
+            ExecutionConfig.distributed(workers=3, chunk_size=1)
+        )
+        with pytest.warns(UserWarning, match="proceeding degraded"):
+            analysis = executor.run_and_analyze(campaign)
+        assert campaign_measures_of(analysis) == serial
+
+    def test_unknown_backend_still_rejected(self):
+        with pytest.raises(RuntimeConfigurationError, match="unknown execution backend"):
+            ExecutionConfig(backend="cluster")
+
+
+def _unused_port() -> int:
+    """A port with nothing listening on it (closed immediately)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]

@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.execution import PROCESS_POOL, available_backends
+from repro.core.execution import DISTRIBUTED, PROCESS_POOL, available_backends
 
 ROOT = Path(__file__).resolve().parent.parent
 README = ROOT / "README.md"
@@ -81,7 +81,9 @@ class TestReadmeSnippetsRun:
         return namespace
 
     @pytest.mark.parametrize(
-        "marker", ["run_and_analyze(campaign", "CampaignStore("], ids=["quickstart", "persistence"]
+        "marker",
+        ["run_and_analyze(campaign", "CampaignStore(", "ExecutionConfig.distributed("],
+        ids=["quickstart", "persistence", "distributed"],
     )
     def test_snippet_executes(self, marker, tmp_path, monkeypatch):
         snippets = [
@@ -90,6 +92,8 @@ class TestReadmeSnippetsRun:
         assert snippets, f"README lost its {marker!r} snippet"
         for code in snippets:
             if "process_pool" in code and PROCESS_POOL not in available_backends():
+                pytest.skip("snippet needs the fork start method")
+            if "distributed(" in code and DISTRIBUTED not in available_backends():
                 pytest.skip("snippet needs the fork start method")
             self.run_snippet(code, tmp_path, monkeypatch)
 
@@ -113,6 +117,7 @@ class TestDocContracts:
             "repro.analysis",
             "repro.measures",
             "repro.store",
+            "repro.dist",
             "scenarios",
         ):
             assert module in text, f"architecture tour does not mention {module}"

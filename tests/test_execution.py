@@ -359,3 +359,105 @@ class TestEventCap:
         study = build_toggle_study("bad", dwell_time=0.02, experiments=1)
         with pytest.raises(RuntimeConfigurationError):
             replace(study, max_events=0)
+
+
+# ---------------------------------------------------------------------------
+# Pool worker crashes: survive, report, resume
+# ---------------------------------------------------------------------------
+
+
+class SuicidalRunner(CampaignRunner):
+    """SIGKILLs its own worker process at alpha:1 — once, gated by a
+    sentinel file, so the retried attempt succeeds.  Results are otherwise
+    identical to the plain runner (only scheduling is disturbed)."""
+
+    sentinel = ""  # set by each test before running
+
+    @classmethod
+    def run_experiment_of(cls, study, index):
+        import os as _os
+        import signal as _signal
+        from pathlib import Path as _Path
+
+        if study.name == "alpha" and index == 1 and not _os.path.exists(cls.sentinel):
+            _Path(cls.sentinel).write_text("died once")
+            _os.kill(_os.getpid(), _signal.SIGKILL)
+        return super().run_experiment_of(study, index)
+
+
+class AlwaysCrashingRunner(CampaignRunner):
+    """SIGKILLs its worker at alpha:1 on every attempt (an unretriable
+    fault, e.g. a deterministic OOM kill)."""
+
+    @classmethod
+    def run_experiment_of(cls, study, index):
+        import os as _os
+        import signal as _signal
+
+        if study.name == "alpha" and index == 1:
+            _os.kill(_os.getpid(), _signal.SIGKILL)
+        return super().run_experiment_of(study, index)
+
+
+@needs_pool
+class TestPoolCrashRecovery:
+    def test_worker_crash_is_retried_and_campaign_completes(self, tmp_path):
+        campaign = build_campaign()
+        serial = run_and_analyze(campaign, ExecutionConfig.serial())
+        SuicidalRunner.sentinel = str(tmp_path / "died")
+        config = ExecutionConfig.process_pool(
+            workers=2, max_retries=2, retry_backoff_base_s=0.01
+        )
+        with pytest.warns(UserWarning, match="rebuilding the pool"):
+            pooled = build_executor(config).run_and_analyze(
+                campaign, runner_class=SuicidalRunner
+            )
+        assert (tmp_path / "died").exists(), "chaos never fired"
+        assert seeds_of(pooled) == seeds_of(serial)
+        assert measure_values_of(pooled) == measure_values_of(serial)
+        assert pooled.acceptance_summary() == serial.acceptance_summary()
+
+    def test_exhausted_retries_report_the_dead_experiments(self):
+        from repro.errors import ExecutionInterrupted
+
+        campaign = build_campaign()
+        config = ExecutionConfig.process_pool(
+            workers=2, max_retries=0, retry_backoff_base_s=0.01
+        )
+        with pytest.raises(ExecutionInterrupted, match="process-pool worker died") as info:
+            build_executor(config).run_and_analyze(
+                campaign, runner_class=AlwaysCrashingRunner
+            )
+        # The report names what was lost, not just that something was.
+        assert info.value.pending
+        assert ("alpha", 1) in info.value.pending
+        assert "alpha:1" in str(info.value)
+
+    def test_crash_with_store_hints_at_resume_and_heals(self, tmp_path):
+        from repro.errors import ExecutionInterrupted
+        from repro.store import CampaignStore
+
+        campaign = build_campaign()
+        serial = run_and_analyze(
+            campaign, ExecutionConfig.serial(), store=CampaignStore(tmp_path / "s")
+        )
+        SuicidalRunner.sentinel = str(tmp_path / "died-with-store")
+        config = ExecutionConfig.process_pool(
+            workers=2, max_retries=0, retry_backoff_base_s=0.01, chunk_size=1
+        )
+        with pytest.raises(ExecutionInterrupted) as info:
+            build_executor(config).run_and_analyze(
+                campaign, runner_class=SuicidalRunner, store=CampaignStore(tmp_path / "d")
+            )
+        assert any("campaign store" in note for note in info.value.__notes__)
+        # Following the hint heals: the sentinel now exists, so the rerun
+        # (same store) resumes past the persisted records and completes.
+        resumed = build_executor(config).run_and_analyze(
+            campaign, runner_class=SuicidalRunner, store=CampaignStore(tmp_path / "d")
+        )
+        assert seeds_of(resumed) == seeds_of(serial)
+        assert measure_values_of(resumed) == measure_values_of(serial)
+        assert (
+            CampaignStore(tmp_path / "d").content_fingerprint()
+            == CampaignStore(tmp_path / "s").content_fingerprint()
+        )
