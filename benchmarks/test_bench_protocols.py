@@ -1,0 +1,123 @@
+"""PROTOCOLS: the real-protocol scenario suite as a perf trajectory.
+
+Times the protocol campaign — the four base scenarios (Raft-style
+election, quorum register, SWIM detector, DFS master/replica) run
+back-to-back through the full pipeline — and prints a per-scenario
+comparison (acceptance, protocol-note volume, headline measure) over all
+twelve protocol variants.
+
+Two gate surfaces ride along:
+
+* the pytest-benchmark fixture records the campaign timing into the
+  ``BENCH_analysis.json`` trajectory under a stable name, and
+* :func:`test_protocol_campaign_has_not_regressed` (run in CI's blocking
+  bench-smoke job) compares a fresh best-of-three timing against the
+  committed trajectory mean via ``assert_no_regression`` — an accidental
+  quadratic in an app's message handling or a simulator hot path shows
+  up here before it shows up as a slow CI suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table
+from repro.core.campaign import CampaignConfig
+from repro.core.execution import ExecutionConfig
+from repro.pipeline import run_and_analyze
+from repro.scenarios import DEFAULT_REGISTRY
+
+#: One representative scenario per protocol app: the timed campaign.
+BASE_SCENARIOS = ("raft-election", "quorum-register", "swim-detector", "dfs-master")
+
+#: Every protocol variant, for the comparison table.
+PROTOCOL_SCENARIOS = tuple(
+    scenario.name for scenario in DEFAULT_REGISTRY if "protocol" in scenario.tags
+)
+
+TRAJECTORY_NAME = "benchmarks/test_bench_protocols.py::protocol_suite_campaign"
+
+EXPERIMENTS = 2
+SEED = 7
+
+
+def run_protocol_campaign() -> int:
+    """One full pipeline run of the four base scenarios; returns #accepted."""
+    campaign = DEFAULT_REGISTRY.build_campaign(
+        names=BASE_SCENARIOS,
+        experiments=EXPERIMENTS,
+        seed=SEED,
+        campaign_name="protocol-bench",
+    )
+    analysis = run_and_analyze(campaign)
+    return sum(
+        1
+        for study_name in analysis.studies
+        for experiment in analysis.studies[study_name].experiments
+        if experiment.accepted
+    )
+
+
+def test_bench_protocol_suite_campaign(benchmark):
+    """Time the base-scenario campaign and print the full variant table."""
+    benchmark.extra_info["trajectory_name"] = TRAJECTORY_NAME
+
+    rows = []
+    for name in PROTOCOL_SCENARIOS:
+        scenario = DEFAULT_REGISTRY.get(name)
+        study = scenario.build(experiments=EXPERIMENTS, seed=SEED)
+        campaign = CampaignConfig(name=f"bench-{name}", studies=[study])
+        analysis = run_and_analyze(
+            campaign, execution=ExecutionConfig(keep_raw_results=True)
+        )
+        study_analysis = analysis.studies[study.name]
+        accepted = sum(1 for e in study_analysis.experiments if e.accepted)
+        notes = sum(
+            len(timeline.notes)
+            for e in study_analysis.experiments
+            for timeline in e.result.local_timelines.values()
+        )
+        values = [
+            value
+            for value in study_analysis.measure_values(scenario.measure_factory())
+            if value is not None
+        ]
+        mean = sum(values) / len(values) if values else None
+        rows.append(
+            [
+                name,
+                f"{accepted}/{EXPERIMENTS}",
+                str(notes),
+                scenario.measure_names()[0],
+                f"{mean:.4f}" if mean is not None else "n/a",
+            ]
+        )
+
+    accepted = benchmark(run_protocol_campaign)
+    assert accepted > len(BASE_SCENARIOS)  # a majority across the campaign
+
+    print_table(
+        f"Protocol suite — {len(PROTOCOL_SCENARIOS)} scenarios, "
+        f"{EXPERIMENTS} experiments each",
+        ["scenario", "accepted", "notes", "measure", "mean"],
+        rows,
+    )
+
+
+def test_protocol_campaign_has_not_regressed():
+    """Blocking gate: the protocol campaign stays near its trajectory mean."""
+    from bench_record import assert_no_regression
+
+    best = min(_timed_campaign() for _ in range(3))
+    ratio = assert_no_regression(TRAJECTORY_NAME, best)
+    if ratio is not None:
+        print(
+            f"\nprotocol gate: best campaign {best * 1e3:.1f} ms, "
+            f"{ratio:.2f}x committed mean"
+        )
+
+
+def _timed_campaign() -> float:
+    start = time.perf_counter()
+    run_protocol_campaign()
+    return time.perf_counter() - start

@@ -16,21 +16,64 @@ Five applications exercise the public API on realistic scenarios:
 * :mod:`repro.apps.tokenring` — token-ring mutual exclusion with token-loss
   and holder-crash faults.
 
+The *protocol suite* adds four real-protocol workloads whose timelines
+carry structured :mod:`repro.apps.protocol_notes` for the machine-checkable
+safety invariants of ``tests/protocol``:
+
+* :mod:`repro.apps.raft` — Raft-style term-based election with log
+  replication (election safety, committed-prefix agreement);
+* :mod:`repro.apps.quorum` — a quorum read/write register with read-repair
+  (quorum-intersection reads are never stale);
+* :mod:`repro.apps.swim` — the SWIM gossip failure detector
+  (confirmed-dead members really crashed);
+* :mod:`repro.apps.dfsmaster` — a DFS master/replica workload with
+  heartbeats, re-replication, and digest audits (store consistency).
+
 Every application is registered as a scenario in
 :mod:`repro.scenarios`, which is the preferred way to enumerate and build
 them.
 """
 
+from repro.apps.dfsmaster import (
+    DfsDatanodeApplication,
+    DfsMasterApplication,
+    build_dfs_study,
+    dfs_datanode_spec,
+    dfs_master_spec,
+)
 from repro.apps.election import (
     LeaderElectionApplication,
     build_election_study,
     election_fault_specification,
     election_state_machine_spec,
 )
+from repro.apps.protocol_notes import (
+    ProtocolNote,
+    notes_of_kind,
+    parse_protocol_note,
+    protocol_note,
+)
+from repro.apps.quorum import (
+    QuorumClientApplication,
+    QuorumReplicaApplication,
+    build_quorum_study,
+    quorum_client_spec,
+    quorum_replica_spec,
+)
+from repro.apps.raft import (
+    RaftReplicaApplication,
+    build_raft_study,
+    raft_state_machine_spec,
+)
 from repro.apps.replication import (
     ReplicationApplication,
     build_replication_study,
     replication_state_machine_spec,
+)
+from repro.apps.swim import (
+    SwimMemberApplication,
+    build_swim_study,
+    swim_state_machine_spec,
 )
 from repro.apps.toggle import (
     ToggleDriverApplication,
@@ -52,23 +95,43 @@ from repro.apps.twophase import (
 )
 
 __all__ = [
+    "DfsDatanodeApplication",
+    "DfsMasterApplication",
     "LeaderElectionApplication",
+    "ProtocolNote",
+    "QuorumClientApplication",
+    "QuorumReplicaApplication",
+    "RaftReplicaApplication",
     "ReplicationApplication",
+    "SwimMemberApplication",
     "ToggleDriverApplication",
     "ToggleObserverApplication",
     "TokenRingApplication",
     "TwoPhaseCommitApplication",
+    "build_dfs_study",
     "build_election_study",
+    "build_quorum_study",
+    "build_raft_study",
     "build_replication_study",
+    "build_swim_study",
     "build_toggle_study",
     "build_tokenring_study",
     "build_twophase_study",
     "coordinator_state_machine_spec",
+    "dfs_datanode_spec",
+    "dfs_master_spec",
     "driver_state_machine_spec",
     "election_fault_specification",
     "election_state_machine_spec",
+    "notes_of_kind",
     "observer_state_machine_spec",
+    "parse_protocol_note",
     "participant_state_machine_spec",
+    "protocol_note",
+    "quorum_client_spec",
+    "quorum_replica_spec",
+    "raft_state_machine_spec",
     "replication_state_machine_spec",
     "ring_state_machine_spec",
+    "swim_state_machine_spec",
 ]

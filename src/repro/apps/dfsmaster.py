@@ -1,0 +1,568 @@
+"""A DFS master/replica workload: chunk placement, heartbeats, re-replication.
+
+A single *master* places versioned chunks on ``R`` of the datanodes and
+commits a placement once all ``R`` store acknowledgements arrive
+(``@dfs-commit``).  Datanodes heartbeat a digest of what they actually
+hold; the master detects dead datanodes (crash notification or heartbeat
+silence), re-replicates their committed chunks from a surviving replica
+(``@dfs-rereplicate``), and periodically *audits* the digests: a live
+replica of a committed chunk that lags the committed version or disagrees
+on content drives the master into the ``DIVERGED`` state (``@dfs-diverged``)
+until repair stores bring the group back in sync — the
+``replica-divergence`` study measure is the total time spent there.
+
+The protocol harness replays the ``@dfs-store`` notes for the safety
+property: every stored copy of a given ``(chunk, version)`` carries the
+same content.  ``DfsParameters.corrupt_store`` makes a datanode silently
+mangle what it writes while still acknowledging — the deliberately broken
+replica that proves the consistency checker can fail
+(``tests/protocol/test_invariants_selftest.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.protocol_notes import protocol_note
+from repro.core.campaign import HostConfig, StudyConfig
+from repro.core.expression import And, StateAtom
+from repro.core.runtime.application import LokiApplication, NodeContext
+from repro.core.runtime.context import NodeDefinition, RestartPolicy
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.specs.state_machine import (
+    StateMachineSpecification,
+    StateSpecification,
+    build_specification,
+)
+from repro.sim.topology import NetworkConfig
+
+#: The default group: one master, three datanodes (replication factor 2).
+DFS_MASTER = "master"
+DFS_DATANODES = ("d1", "d2", "d3")
+
+MASTER_STATES = ("BEGIN", "INIT", "IDLE", "PLACING", "AUDIT", "DIVERGED", "CRASH", "EXIT")
+MASTER_EVENTS = (
+    "INIT_DONE",
+    "PLACE",
+    "PLACED",
+    "TIMEOUT",
+    "AUDIT_START",
+    "AUDIT_OK",
+    "AUDIT_FAIL",
+    "REPAIRED",
+    "CRASH",
+    "ERROR",
+)
+
+DATANODE_STATES = ("BEGIN", "INIT", "SERVING", "REPLICATING", "CRASH", "EXIT")
+DATANODE_EVENTS = ("INIT_DONE", "PULL", "PULL_DONE", "CRASH", "ERROR")
+
+
+def dfs_master_spec(name: str, peers: tuple[str, ...]) -> StateMachineSpecification:
+    """The master's placement/audit state machine."""
+    others = tuple(peer for peer in peers if peer != name)
+    states = [
+        StateSpecification(
+            name="INIT", notify=others, transitions={"INIT_DONE": "IDLE", "ERROR": "EXIT"}
+        ),
+        StateSpecification(
+            name="IDLE",
+            notify=others,
+            transitions={
+                "PLACE": "PLACING",
+                "AUDIT_START": "AUDIT",
+                "CRASH": "CRASH",
+                "ERROR": "EXIT",
+            },
+        ),
+        StateSpecification(
+            name="PLACING",
+            notify=others,
+            transitions={"PLACED": "IDLE", "TIMEOUT": "IDLE", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="AUDIT",
+            notify=others,
+            transitions={"AUDIT_OK": "IDLE", "AUDIT_FAIL": "DIVERGED", "CRASH": "CRASH",
+                         "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="DIVERGED",
+            notify=others,
+            transitions={"REPAIRED": "IDLE", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(name="CRASH", notify=others, transitions={}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, MASTER_STATES, MASTER_EVENTS, states)
+
+
+def dfs_datanode_spec(name: str, peers: tuple[str, ...]) -> StateMachineSpecification:
+    """A datanode's state machine; ``REPLICATING`` marks an in-flight pull."""
+    others = tuple(peer for peer in peers if peer != name)
+    states = [
+        StateSpecification(
+            name="INIT", notify=others, transitions={"INIT_DONE": "SERVING", "ERROR": "EXIT"}
+        ),
+        StateSpecification(
+            name="SERVING",
+            notify=others,
+            transitions={"PULL": "REPLICATING", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="REPLICATING",
+            notify=others,
+            transitions={"PULL_DONE": "SERVING", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(name="CRASH", notify=others, transitions={}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, DATANODE_STATES, DATANODE_EVENTS, states)
+
+
+def dfs_correlated_datanode_fault(
+    datanode: str, master: str = DFS_MASTER, name: str | None = None
+) -> FaultDefinition:
+    """``((master:AUDIT) & (datanode:SERVING)) once``.
+
+    Crash a serving datanode exactly inside the master's audit window —
+    late enough that committed chunks live on it, so the master's
+    death-detection and re-replication paths are what gets measured.
+    """
+    expression = And(StateAtom(master, "AUDIT"), StateAtom(datanode, "SERVING"))
+    return FaultDefinition(
+        name=name or f"{datanode}aud1",
+        expression=expression,
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+def dfs_datanode_crash_fault(datanode: str, name: str | None = None) -> FaultDefinition:
+    """``(datanode:SERVING) once`` — an uncorrelated datanode crash."""
+    return FaultDefinition(
+        name=name or f"{datanode}srv1",
+        expression=StateAtom(datanode, "SERVING"),
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+@dataclass
+class DfsParameters:
+    """Timing, replication factor, and the corruption falsifiability knob."""
+
+    replication: int = 2
+    init_delay: float = 0.010
+    place_interval: float = 0.030
+    place_timeout: float = 0.080
+    store_ack_delay: float = 0.012
+    heartbeat_interval: float = 0.025
+    dead_timeout: float = 0.070
+    audit_interval: float = 0.040
+    #: Dwell of the ``AUDIT`` state between ``AUDIT_START`` and the
+    #: verdict: long enough that state-triggered faults (and the offline
+    #: verification) get a real window, like a scan over the digests would.
+    audit_dwell: float = 0.020
+    #: How long after a commit the audit tolerates lagging heartbeat
+    #: digests before calling the replica divergent.
+    audit_grace: float = 0.060
+    #: Every ``update_stride``-th placement rewrites an existing chunk at a
+    #: higher version instead of creating a new one, so partitioned
+    #: replicas accumulate stale versions for the audit to find.
+    update_stride: int = 3
+    run_duration: float = 0.5
+    fault_crash_probability: float = 1.0
+    fault_dormancy: float = 0.002
+    #: Falsifiability knob: a datanode with ``corrupt_store=True`` mangles
+    #: the content it writes while acknowledging as if the store were
+    #: faithful.  Never set by the registry scenarios.
+    corrupt_store: bool = False
+
+
+class DfsMasterApplication(LokiApplication):
+    """The chunk master: place, commit, detect death, re-replicate, audit."""
+
+    def __init__(
+        self, datanodes: tuple[str, ...] = DFS_DATANODES,
+        parameters: DfsParameters | None = None,
+    ) -> None:
+        self.parameters = parameters or DfsParameters()
+        self.datanodes = datanodes
+        self._chunks: dict[str, tuple[int, str]] = {}
+        self._commit_times: dict[str, float] = {}
+        self._placements: dict[str, list[str]] = {}
+        self._pending: tuple[str, int, set[str]] | None = None
+        self._digests: dict[str, dict[str, tuple[int, str]]] = {}
+        self._last_heartbeat: dict[str, float] = {}
+        self._dead: set[str] = set()
+        self._chunk_count = 0
+        self._placement_count = 0
+        self._rr_cursor = 0
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT")
+        ctx.set_timer(self.parameters.run_duration, self._finish, ctx)
+        ctx.set_timer(self.parameters.init_delay, self._initialization_done, ctx)
+
+    def _initialization_done(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT_DONE")
+        now = ctx.local_time()
+        for datanode in self.datanodes:
+            self._last_heartbeat[datanode] = now
+        ctx.set_timer(self.parameters.place_interval, self._placement_tick, ctx)
+        ctx.set_timer(self.parameters.heartbeat_interval, self._liveness_tick, ctx)
+        ctx.set_timer(self.parameters.audit_interval, self._audit_tick, ctx)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive and not self._stopped:
+            self._stopped = True
+            ctx.exit()
+
+    # -- placement ---------------------------------------------------------------
+
+    def _live_datanodes(self) -> list[str]:
+        return [node for node in self.datanodes if node not in self._dead]
+
+    def _placement_tick(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        ctx.set_timer(self.parameters.place_interval, self._placement_tick, ctx)
+        if ctx.current_state != "IDLE":
+            return
+        live = self._live_datanodes()
+        if len(live) < self.parameters.replication:
+            return
+        self._placement_count += 1
+        update = (
+            self.parameters.update_stride > 0
+            and self._placement_count % self.parameters.update_stride == 0
+            and self._chunks
+        )
+        if update:
+            chunk = sorted(self._chunks)[0]
+            version = self._chunks[chunk][0] + 1
+            targets = [node for node in self._placements[chunk] if node not in self._dead]
+            extra = [node for node in live if node not in targets]
+            while len(targets) < self.parameters.replication and extra:
+                targets.append(extra.pop(0))
+        else:
+            self._chunk_count += 1
+            chunk = f"c{self._chunk_count}"
+            version = 1
+            targets = [
+                live[(self._rr_cursor + offset) % len(live)]
+                for offset in range(self.parameters.replication)
+            ]
+            self._rr_cursor += 1
+        content = f"{chunk}.v{version}"
+        ctx.notify_event("PLACE")
+        self._pending = (chunk, version, set())
+        self._placements[chunk] = targets
+        self._chunks[chunk] = (version, content)
+        for target in targets:
+            ctx.send(target, {"type": "store", "chunk": chunk, "version": version,
+                              "content": content})
+        ctx.set_timer(self.parameters.place_timeout, self._place_timed_out, ctx, chunk, version)
+
+    def _handle_store_ack(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        if self._pending is None:
+            return
+        chunk, version, ackers = self._pending
+        if payload["chunk"] != chunk or int(payload["version"]) != version:
+            return
+        ackers.add(source)
+        if len(ackers) >= self.parameters.replication and ctx.current_state == "PLACING":
+            self._commit_times[chunk] = ctx.local_time()
+            ctx.note(
+                protocol_note(
+                    "dfs-commit",
+                    chunk=chunk,
+                    version=version,
+                    replicas=",".join(self._placements[chunk]),
+                )
+            )
+            self._pending = None
+            ctx.notify_event("PLACED")
+
+    def _place_timed_out(self, ctx: NodeContext, chunk: str, version: int) -> None:
+        if self._stopped or not ctx.alive or self._pending is None:
+            return
+        pending_chunk, pending_version, _ = self._pending
+        if (pending_chunk, pending_version) != (chunk, version):
+            return
+        self._pending = None
+        if ctx.current_state == "PLACING":
+            ctx.notify_event("TIMEOUT")
+
+    # -- liveness and re-replication ----------------------------------------------
+
+    def _liveness_tick(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        ctx.set_timer(self.parameters.heartbeat_interval, self._liveness_tick, ctx)
+        now = ctx.local_time()
+        view = ctx.partial_view
+        for datanode in self.datanodes:
+            if datanode in self._dead:
+                continue
+            crashed = view.get(datanode) == "CRASH"
+            silent = now - self._last_heartbeat[datanode] > self.parameters.dead_timeout
+            if crashed or silent:
+                self._dead.add(datanode)
+                self._re_replicate(ctx, datanode)
+
+    def _re_replicate(self, ctx: NodeContext, dead: str) -> None:
+        live = self._live_datanodes()
+        for chunk in sorted(self._placements):
+            placement = self._placements[chunk]
+            if dead not in placement or chunk not in self._commit_times:
+                continue
+            sources = [node for node in placement if node not in self._dead]
+            spares = [node for node in live if node not in placement]
+            if not sources or not spares:
+                continue
+            target = spares[0]
+            placement[placement.index(dead)] = target
+            ctx.note(protocol_note("dfs-rereplicate", chunk=chunk, to=target))
+            ctx.send(target, {"type": "pull", "chunk": chunk, "source": sources[0]})
+
+    def _handle_heartbeat(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        self._last_heartbeat[source] = ctx.local_time()
+        self._digests[source] = {
+            str(entry[0]): (int(entry[1]), str(entry[2])) for entry in payload["digest"]
+        }
+        if source in self._dead:
+            # A partitioned (not crashed) datanode came back; serve it again.
+            self._dead.discard(source)
+
+    # -- audit --------------------------------------------------------------------
+
+    def _audit_findings(self, ctx: NodeContext) -> list[str]:
+        """Committed chunks whose live replicas lag or disagree."""
+        now = ctx.local_time()
+        findings: list[str] = []
+        for chunk in sorted(self._commit_times):
+            committed_version, committed_content = self._chunks[chunk]
+            settled = now - self._commit_times[chunk] > self.parameters.audit_grace
+            for node in self._placements[chunk]:
+                if node in self._dead:
+                    continue
+                digest = self._digests.get(node)
+                if digest is None or chunk not in digest:
+                    continue
+                version, content = digest[chunk]
+                lagging = settled and version < committed_version
+                corrupt = version == committed_version and content != committed_content
+                if lagging or corrupt:
+                    findings.append(chunk)
+                    ctx.send(
+                        node,
+                        {"type": "store", "chunk": chunk, "version": committed_version,
+                         "content": committed_content},
+                    )
+        return findings
+
+    def _audit_tick(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        ctx.set_timer(self.parameters.audit_interval, self._audit_tick, ctx)
+        if ctx.current_state == "IDLE":
+            ctx.notify_event("AUDIT_START")
+            ctx.set_timer(self.parameters.audit_dwell, self._audit_verdict, ctx)
+        elif ctx.current_state == "DIVERGED":
+            if not self._audit_findings(ctx):
+                ctx.notify_event("REPAIRED")
+
+    def _audit_verdict(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive or ctx.current_state != "AUDIT":
+            return
+        findings = self._audit_findings(ctx)
+        if findings:
+            for chunk in sorted(set(findings)):
+                ctx.note(protocol_note("dfs-diverged", chunk=chunk))
+            ctx.notify_event("AUDIT_FAIL")
+        else:
+            ctx.notify_event("AUDIT_OK")
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def on_message(self, ctx: NodeContext, source: str, payload: object) -> None:
+        if self._stopped or not isinstance(payload, dict):
+            return
+        kind = payload.get("type")
+        if kind == "store_ack":
+            self._handle_store_ack(ctx, source, payload)
+        elif kind == "hb":
+            self._handle_heartbeat(ctx, source, payload)
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        if ctx.random.random() < self.parameters.fault_crash_probability:
+            ctx.set_timer(
+                self.parameters.fault_dormancy,
+                lambda: ctx.crash(reason=f"fault {fault_name} became an error"),
+            )
+
+
+class DfsDatanodeApplication(LokiApplication):
+    """One datanode: store chunks, heartbeat digests, serve pulls."""
+
+    def __init__(
+        self, master: str = DFS_MASTER, parameters: DfsParameters | None = None
+    ) -> None:
+        self.parameters = parameters or DfsParameters()
+        self.master = master
+        self._chunks: dict[str, tuple[int, str]] = {}
+        self._pulling: set[str] = set()
+        self._stopped = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT")
+        ctx.set_timer(self.parameters.run_duration, self._finish, ctx)
+        ctx.set_timer(self.parameters.init_delay, self._initialization_done, ctx)
+
+    def _initialization_done(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT_DONE")
+        self._heartbeat(ctx)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive and not self._stopped:
+            self._stopped = True
+            ctx.exit()
+
+    def _heartbeat(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        digest = [
+            [chunk, self._chunks[chunk][0], self._chunks[chunk][1]]
+            for chunk in sorted(self._chunks)
+        ]
+        ctx.send(self.master, {"type": "hb", "digest": digest})
+        ctx.set_timer(self.parameters.heartbeat_interval, self._heartbeat, ctx)
+
+    def _store(self, ctx: NodeContext, chunk: str, version: int, content: str) -> None:
+        current = self._chunks.get(chunk)
+        if current is not None and current[0] >= version:
+            return
+        if self.parameters.corrupt_store:
+            content = f"{content}.bitrot"
+        self._chunks[chunk] = (version, content)
+        ctx.note(
+            protocol_note(
+                "dfs-store", node=ctx.nickname, chunk=chunk, version=version, content=content
+            )
+        )
+
+    def on_message(self, ctx: NodeContext, source: str, payload: object) -> None:
+        if self._stopped or not isinstance(payload, dict):
+            return
+        kind = payload.get("type")
+        if kind == "store":
+            chunk = str(payload["chunk"])
+            version = int(payload["version"])
+            self._store(ctx, chunk, version, str(payload["content"]))
+            ctx.set_timer(
+                self.parameters.store_ack_delay, self._send_store_ack, ctx, source, chunk, version
+            )
+        elif kind == "pull":
+            chunk = str(payload["chunk"])
+            if ctx.current_state == "SERVING":
+                ctx.notify_event("PULL")
+            self._pulling.add(chunk)
+            ctx.send(str(payload["source"]), {"type": "fetch", "chunk": chunk})
+        elif kind == "fetch":
+            chunk = str(payload["chunk"])
+            held = self._chunks.get(chunk)
+            if held is not None:
+                ctx.send(
+                    source,
+                    {"type": "chunk_data", "chunk": chunk, "version": held[0],
+                     "content": held[1]},
+                )
+        elif kind == "chunk_data":
+            chunk = str(payload["chunk"])
+            self._store(ctx, chunk, int(payload["version"]), str(payload["content"]))
+            if chunk in self._pulling:
+                self._pulling.discard(chunk)
+                if ctx.current_state == "REPLICATING" and not self._pulling:
+                    ctx.notify_event("PULL_DONE")
+                version = self._chunks[chunk][0]
+                ctx.send(self.master, {"type": "pull_ack", "chunk": chunk, "version": version})
+
+    def _send_store_ack(self, ctx: NodeContext, source: str, chunk: str, version: int) -> None:
+        if not self._stopped and ctx.alive:
+            ctx.send(source, {"type": "store_ack", "chunk": chunk, "version": version})
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        if ctx.random.random() < self.parameters.fault_crash_probability:
+            ctx.set_timer(
+                self.parameters.fault_dormancy,
+                lambda: ctx.crash(reason=f"fault {fault_name} became an error"),
+            )
+
+
+def build_dfs_study(
+    name: str,
+    faults_by_machine: dict[str, tuple[FaultDefinition, ...]] | None = None,
+    datanodes: tuple[str, ...] = DFS_DATANODES,
+    hosts: tuple[str, ...] = ("hosta", "hostb", "hostc"),
+    experiments: int = 20,
+    parameters: DfsParameters | None = None,
+    parameters_by_machine: dict[str, DfsParameters] | None = None,
+    restart_policy: RestartPolicy | None = None,
+    experiment_timeout: float = 4.0,
+    network: NetworkConfig | None = None,
+    seed: int = 0,
+    weight: float = 1.0,
+) -> StudyConfig:
+    """Assemble a DFS master/replica study.
+
+    The master runs on the first host; datanodes go round-robin over the
+    hosts starting from the second (``d1`` on ``hostb``, ``d2`` on
+    ``hostc``, ``d3`` alongside the master).  ``parameters_by_machine``
+    overrides the shared ``parameters`` per machine (the corruption
+    self-test uses it to break exactly one datanode).
+    """
+    faults_by_machine = faults_by_machine or {}
+    parameters = parameters or DfsParameters()
+    parameters_by_machine = parameters_by_machine or {}
+    machines = (DFS_MASTER, *datanodes)
+    master_parameters = parameters_by_machine.get(DFS_MASTER, parameters)
+    nodes = [
+        NodeDefinition(
+            nickname=DFS_MASTER,
+            specification=dfs_master_spec(DFS_MASTER, machines),
+            faults=FaultSpecification.from_definitions(faults_by_machine.get(DFS_MASTER, ())),
+            application_factory=(
+                lambda parameters=master_parameters: DfsMasterApplication(datanodes, parameters)
+            ),
+            start_host=hosts[0],
+        )
+    ]
+    for index, datanode in enumerate(datanodes):
+        node_parameters = parameters_by_machine.get(datanode, parameters)
+        nodes.append(
+            NodeDefinition(
+                nickname=datanode,
+                specification=dfs_datanode_spec(datanode, machines),
+                faults=FaultSpecification.from_definitions(faults_by_machine.get(datanode, ())),
+                application_factory=(
+                    lambda parameters=node_parameters: DfsDatanodeApplication(
+                        DFS_MASTER, parameters
+                    )
+                ),
+                start_host=hosts[(index + 1) % len(hosts)],
+            )
+        )
+    return StudyConfig(
+        name=name,
+        hosts=[HostConfig(name=host) for host in hosts],
+        nodes=nodes,
+        experiments=experiments,
+        restart_policy=restart_policy or RestartPolicy(enabled=False),
+        experiment_timeout=experiment_timeout,
+        network=network or NetworkConfig(),
+        seed=seed,
+        weight=weight,
+    )

@@ -1,0 +1,98 @@
+"""Structured timeline notes shared by the protocol apps and their harness.
+
+The protocol applications (:mod:`repro.apps.raft`, :mod:`repro.apps.quorum`,
+:mod:`repro.apps.swim`, :mod:`repro.apps.dfsmaster`) record protocol-level
+facts — terms, commit indices, read versions, confirm targets — that are
+richer than a state-machine state.  They travel as timeline *notes*
+(:meth:`repro.core.runtime.application.NodeContext.note`), which round-trip
+through both store codecs, so the invariant checkers in ``tests/protocol``
+can replay them from an archived campaign with zero simulator invocations.
+
+A protocol note is one line::
+
+    @<kind> key=value key=value ...
+
+``kind`` identifies the fact (``raft-leader``, ``quorum-read``, ...); the
+fields are ordered ``key=value`` pairs whose values must not contain
+whitespace.  Free-form notes (anything not starting with ``@``) are left
+alone by :func:`parse_protocol_note`, so the runtime's RESTART notes and
+the protocol notes share the same channel without colliding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+
+#: Marker distinguishing structured protocol notes from free-form notes.
+NOTE_MARKER = "@"
+
+
+@dataclass(frozen=True)
+class ProtocolNote:
+    """One parsed protocol note: a kind plus ordered string fields."""
+
+    kind: str
+    fields: tuple[tuple[str, str], ...]
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def __getitem__(self, key: str) -> str:
+        value = self.get(key)
+        if value is None:
+            raise KeyError(key)
+        return value
+
+
+def protocol_note(kind: str, **fields: object) -> str:
+    """Format a structured note line: ``@kind key=value ...``.
+
+    Values are stringified; floats use ``repr`` so the note round-trips
+    bit-exactly.  Keys and values must be whitespace-free (the grammar is
+    split on single spaces) and values must not contain ``=``-free
+    ambiguity — enforced here so a malformed note fails at the writer, not
+    in the offline checker.
+    """
+    if not kind or any(ch.isspace() for ch in kind):
+        raise SpecificationError(f"invalid protocol-note kind {kind!r}")
+    parts = [f"{NOTE_MARKER}{kind}"]
+    for key, raw in fields.items():
+        value = repr(raw) if isinstance(raw, float) else str(raw)
+        if any(ch.isspace() for ch in value) or "=" in value:
+            raise SpecificationError(
+                f"protocol-note field {key}={value!r} contains whitespace or '='"
+            )
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def parse_protocol_note(text: str) -> ProtocolNote | None:
+    """Parse one note line; returns ``None`` for free-form (non-``@``) notes."""
+    if not text.startswith(NOTE_MARKER):
+        return None
+    tokens = text.split(" ")
+    kind = tokens[0][len(NOTE_MARKER):]
+    if not kind:
+        raise SpecificationError(f"protocol note without a kind: {text!r}")
+    fields: list[tuple[str, str]] = []
+    for token in tokens[1:]:
+        key, separator, value = token.partition("=")
+        if not separator or not key:
+            raise SpecificationError(f"malformed protocol-note field {token!r} in {text!r}")
+        fields.append((key, value))
+    return ProtocolNote(kind=kind, fields=tuple(fields))
+
+
+def notes_of_kind(notes: list[str] | tuple[str, ...], kind: str) -> list[ProtocolNote]:
+    """All structured notes of ``kind`` from a timeline's raw note list."""
+    found: list[ProtocolNote] = []
+    for text in notes:
+        parsed = parse_protocol_note(text)
+        if parsed is not None and parsed.kind == kind:
+            found.append(parsed)
+    return found

@@ -1,0 +1,435 @@
+"""A quorum read/write register with read-repair.
+
+One client runs a strictly sequential workload against ``N`` replicas:
+writes carry a monotonically increasing version and are *committed* once
+``W`` replicas acknowledge; reads collect ``R`` replies, return the
+highest version seen, and repair any replica that answered with an older
+one.  With ``R + W > N`` every read quorum intersects every write quorum,
+so a completed read can never return a version older than the last
+committed write — the staleness invariant the protocol harness replays
+from the ``@quorum-commit`` / ``@quorum-read`` notes.  The client also
+*detects* staleness locally (it knows its own last committed version) and
+surfaces it as the ``STALE`` state, which is what the ``stale-reads``
+study measure counts.
+
+The falsifiability knobs (``write_quorum=1, read_quorum=1`` together with
+``send_to_all=False``, which sprays sub-quorum writes and reads round-robin
+across disjoint replicas) violate quorum intersection on purpose;
+``tests/protocol/test_invariants_selftest.py`` uses them to prove the
+staleness checker can actually fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.protocol_notes import protocol_note
+from repro.core.campaign import HostConfig, StudyConfig
+from repro.core.expression import And, StateAtom
+from repro.core.runtime.application import LokiApplication, NodeContext
+from repro.core.runtime.context import NodeDefinition, RestartPolicy
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.specs.state_machine import (
+    StateMachineSpecification,
+    StateSpecification,
+    build_specification,
+)
+from repro.sim.topology import NetworkConfig
+
+#: The default register group: one client, three replicas.
+QUORUM_CLIENT = "client"
+QUORUM_REPLICAS = ("q1", "q2", "q3")
+
+CLIENT_STATES = ("BEGIN", "INIT", "IDLE", "WRITING", "READING", "STALE", "CRASH", "EXIT")
+CLIENT_EVENTS = (
+    "INIT_DONE",
+    "WRITE",
+    "WRITE_DONE",
+    "READ",
+    "READ_OK",
+    "READ_STALE",
+    "STALE_DONE",
+    "TIMEOUT",
+    "CRASH",
+    "ERROR",
+)
+
+REPLICA_STATES = ("BEGIN", "INIT", "SERVING", "REPAIR", "CRASH", "EXIT")
+REPLICA_EVENTS = ("INIT_DONE", "REPAIR_START", "REPAIR_DONE", "CRASH", "ERROR")
+
+
+def quorum_client_spec(name: str, peers: tuple[str, ...]) -> StateMachineSpecification:
+    """The client's operation state machine (one op in flight at a time)."""
+    others = tuple(peer for peer in peers if peer != name)
+    states = [
+        StateSpecification(
+            name="INIT", notify=others, transitions={"INIT_DONE": "IDLE", "ERROR": "EXIT"}
+        ),
+        StateSpecification(
+            name="IDLE",
+            notify=others,
+            transitions={"WRITE": "WRITING", "READ": "READING", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="WRITING",
+            notify=others,
+            transitions={"WRITE_DONE": "IDLE", "TIMEOUT": "IDLE", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="READING",
+            notify=others,
+            transitions={
+                "READ_OK": "IDLE",
+                "READ_STALE": "STALE",
+                "TIMEOUT": "IDLE",
+                "CRASH": "CRASH",
+                "ERROR": "EXIT",
+            },
+        ),
+        StateSpecification(
+            name="STALE",
+            notify=others,
+            transitions={"STALE_DONE": "IDLE", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(name="CRASH", notify=others, transitions={}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, CLIENT_STATES, CLIENT_EVENTS, states)
+
+
+def quorum_replica_spec(name: str, peers: tuple[str, ...]) -> StateMachineSpecification:
+    """A replica's state machine; ``REPAIR`` makes read-repair state-visible."""
+    others = tuple(peer for peer in peers if peer != name)
+    states = [
+        StateSpecification(
+            name="INIT", notify=others, transitions={"INIT_DONE": "SERVING", "ERROR": "EXIT"}
+        ),
+        StateSpecification(
+            name="SERVING",
+            notify=others,
+            transitions={"REPAIR_START": "REPAIR", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="REPAIR",
+            notify=others,
+            transitions={"REPAIR_DONE": "SERVING", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(name="CRASH", notify=others, transitions={}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, REPLICA_STATES, REPLICA_EVENTS, states)
+
+
+def quorum_correlated_replica_fault(
+    replica: str, client: str = QUORUM_CLIENT, name: str | None = None
+) -> FaultDefinition:
+    """``((client:WRITING) & (replica:SERVING)) once`` — crash mid-write."""
+    expression = And(StateAtom(client, "WRITING"), StateAtom(replica, "SERVING"))
+    return FaultDefinition(
+        name=name or f"{replica}wr1",
+        expression=expression,
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+def quorum_replica_crash_fault(replica: str, name: str | None = None) -> FaultDefinition:
+    """``(replica:SERVING) once`` — an uncorrelated replica crash."""
+    return FaultDefinition(
+        name=name or f"{replica}srv1",
+        expression=StateAtom(replica, "SERVING"),
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+@dataclass
+class QuorumParameters:
+    """Quorum sizes, timing, and the self-test falsifiability knobs."""
+
+    write_quorum: int = 2
+    read_quorum: int = 2
+    init_delay: float = 0.010
+    op_interval: float = 0.018
+    op_timeout: float = 0.060
+    #: Replica-side delay before acknowledging a write (models the
+    #: durability fsync).  It keeps the client's ``WRITING`` window wide
+    #: enough that state-triggered faults verifiably land inside it.
+    ack_delay: float = 0.012
+    stale_dwell: float = 0.010
+    repair_dwell: float = 0.004
+    run_duration: float = 0.5
+    fault_crash_probability: float = 1.0
+    fault_dormancy: float = 0.002
+    #: When ``False``, writes (reads) go to exactly ``write_quorum``
+    #: (``read_quorum``) replicas chosen round-robin instead of all of
+    #: them — combined with sub-intersecting quorums this is the
+    #: deliberately broken register of the invariant self-test.
+    send_to_all: bool = True
+
+
+class QuorumClientApplication(LokiApplication):
+    """The sequential client: write, read, repair, repeat."""
+
+    def __init__(
+        self, replicas: tuple[str, ...] = QUORUM_REPLICAS,
+        parameters: QuorumParameters | None = None,
+    ) -> None:
+        self.parameters = parameters or QuorumParameters()
+        self.replicas = replicas
+        self._version = 0
+        self._committed = 0
+        self._op_id = 0
+        self._acks: set[str] = set()
+        self._replies: dict[str, tuple[int, str]] = {}
+        self._write_rr = 0
+        self._read_rr = 1
+        self._next_is_write = True
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT")
+        ctx.set_timer(self.parameters.run_duration, self._finish, ctx)
+        ctx.set_timer(self.parameters.init_delay, self._initialization_done, ctx)
+
+    def _initialization_done(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT_DONE")
+        self._schedule_next_op(ctx)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive and not self._stopped:
+            self._stopped = True
+            ctx.exit()
+
+    def _schedule_next_op(self, ctx: NodeContext) -> None:
+        ctx.set_timer(self.parameters.op_interval, self._next_op, ctx)
+
+    def _next_op(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive or ctx.current_state != "IDLE":
+            if not self._stopped and ctx.alive and ctx.current_state != "IDLE":
+                self._schedule_next_op(ctx)
+            return
+        if self._next_is_write:
+            self._start_write(ctx)
+        else:
+            self._start_read(ctx)
+        self._next_is_write = not self._next_is_write
+
+    def _targets(self, quorum: int, cursor: int) -> tuple[tuple[str, ...], int]:
+        if self.parameters.send_to_all:
+            return self.replicas, cursor
+        chosen = tuple(
+            self.replicas[(cursor + offset) % len(self.replicas)] for offset in range(quorum)
+        )
+        return chosen, cursor + quorum
+
+    # -- writes ------------------------------------------------------------------
+
+    def _start_write(self, ctx: NodeContext) -> None:
+        self._version += 1
+        self._op_id += 1
+        self._acks = set()
+        ctx.notify_event("WRITE")
+        targets, self._write_rr = self._targets(self.parameters.write_quorum, self._write_rr)
+        for replica in targets:
+            ctx.send(
+                replica,
+                {"type": "write", "op": self._op_id, "version": self._version,
+                 "value": f"v{self._version}"},
+            )
+        ctx.set_timer(self.parameters.op_timeout, self._op_timed_out, ctx, self._op_id)
+
+    def _handle_write_ack(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        if int(payload["op"]) != self._op_id or ctx.current_state != "WRITING":
+            return
+        self._acks.add(source)
+        if len(self._acks) >= self.parameters.write_quorum:
+            self._committed = self._version
+            ctx.note(protocol_note("quorum-commit", version=self._version))
+            ctx.notify_event("WRITE_DONE")
+            self._schedule_next_op(ctx)
+
+    # -- reads -------------------------------------------------------------------
+
+    def _start_read(self, ctx: NodeContext) -> None:
+        self._op_id += 1
+        self._replies = {}
+        ctx.notify_event("READ")
+        targets, self._read_rr = self._targets(self.parameters.read_quorum, self._read_rr)
+        for replica in targets:
+            ctx.send(replica, {"type": "read", "op": self._op_id})
+        ctx.set_timer(self.parameters.op_timeout, self._op_timed_out, ctx, self._op_id)
+
+    def _handle_read_reply(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        if int(payload["op"]) != self._op_id or ctx.current_state != "READING":
+            return
+        self._replies[source] = (int(payload["version"]), str(payload["value"]))
+        if len(self._replies) < self.parameters.read_quorum:
+            return
+        got = max(version for version, _ in self._replies.values())
+        ctx.note(protocol_note("quorum-read", got=got, committed=self._committed))
+        # Read-repair: replicas that answered with an older version get the
+        # freshest (version, value) this read quorum surfaced.
+        if got > 0:
+            best_value = max(self._replies.values())[1]
+            for replica in sorted(self._replies):
+                if self._replies[replica][0] < got:
+                    ctx.send(
+                        replica,
+                        {"type": "repair", "version": got, "value": best_value},
+                    )
+        if got < self._committed:
+            ctx.notify_event("READ_STALE")
+            ctx.set_timer(self.parameters.stale_dwell, self._stale_done, ctx)
+        else:
+            ctx.notify_event("READ_OK")
+            self._schedule_next_op(ctx)
+
+    def _stale_done(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive or ctx.current_state != "STALE":
+            return
+        ctx.notify_event("STALE_DONE")
+        self._schedule_next_op(ctx)
+
+    def _op_timed_out(self, ctx: NodeContext, op_id: int) -> None:
+        if self._stopped or not ctx.alive or op_id != self._op_id:
+            return
+        if ctx.current_state in ("WRITING", "READING"):
+            ctx.notify_event("TIMEOUT")
+            self._schedule_next_op(ctx)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def on_message(self, ctx: NodeContext, source: str, payload: object) -> None:
+        if self._stopped or not isinstance(payload, dict):
+            return
+        kind = payload.get("type")
+        if kind == "write_ack":
+            self._handle_write_ack(ctx, source, payload)
+        elif kind == "read_reply":
+            self._handle_read_reply(ctx, source, payload)
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        if ctx.random.random() < self.parameters.fault_crash_probability:
+            ctx.set_timer(
+                self.parameters.fault_dormancy,
+                lambda: ctx.crash(reason=f"fault {fault_name} became an error"),
+            )
+
+
+class QuorumReplicaApplication(LokiApplication):
+    """One versioned register replica; newest version wins."""
+
+    def __init__(self, parameters: QuorumParameters | None = None) -> None:
+        self.parameters = parameters or QuorumParameters()
+        self._version = 0
+        self._value = ""
+        self._stopped = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT")
+        ctx.set_timer(self.parameters.run_duration, self._finish, ctx)
+        ctx.set_timer(self.parameters.init_delay, lambda: ctx.notify_event("INIT_DONE"))
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive and not self._stopped:
+            self._stopped = True
+            ctx.exit()
+
+    def _apply(self, ctx: NodeContext, version: int, value: str) -> bool:
+        if version <= self._version:
+            return False
+        self._version = version
+        self._value = value
+        ctx.note(protocol_note("quorum-apply", node=ctx.nickname, version=version))
+        return True
+
+    def on_message(self, ctx: NodeContext, source: str, payload: object) -> None:
+        if self._stopped or not isinstance(payload, dict):
+            return
+        kind = payload.get("type")
+        if kind == "write":
+            self._apply(ctx, int(payload["version"]), str(payload["value"]))
+            ctx.set_timer(self.parameters.ack_delay, self._send_write_ack, ctx, source, payload["op"])
+        elif kind == "read":
+            ctx.send(
+                source,
+                {"type": "read_reply", "op": payload["op"],
+                 "version": self._version, "value": self._value},
+            )
+        elif kind == "repair":
+            if self._apply(ctx, int(payload["version"]), str(payload["value"])):
+                if ctx.current_state == "SERVING":
+                    ctx.notify_event("REPAIR_START")
+                    ctx.set_timer(self.parameters.repair_dwell, self._repair_done, ctx)
+
+    def _send_write_ack(self, ctx: NodeContext, source: str, op: object) -> None:
+        if not self._stopped and ctx.alive:
+            ctx.send(source, {"type": "write_ack", "op": op})
+
+    def _repair_done(self, ctx: NodeContext) -> None:
+        if not self._stopped and ctx.alive and ctx.current_state == "REPAIR":
+            ctx.notify_event("REPAIR_DONE")
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        if ctx.random.random() < self.parameters.fault_crash_probability:
+            ctx.set_timer(
+                self.parameters.fault_dormancy,
+                lambda: ctx.crash(reason=f"fault {fault_name} became an error"),
+            )
+
+
+def build_quorum_study(
+    name: str,
+    faults_by_machine: dict[str, tuple[FaultDefinition, ...]] | None = None,
+    replicas: tuple[str, ...] = QUORUM_REPLICAS,
+    hosts: tuple[str, ...] = ("hosta", "hostb", "hostc"),
+    experiments: int = 20,
+    parameters: QuorumParameters | None = None,
+    restart_policy: RestartPolicy | None = None,
+    experiment_timeout: float = 4.0,
+    network: NetworkConfig | None = None,
+    seed: int = 0,
+    weight: float = 1.0,
+) -> StudyConfig:
+    """Assemble a quorum-register study: the client on the first host,
+    replicas round-robin over all hosts starting from the second."""
+    faults_by_machine = faults_by_machine or {}
+    parameters = parameters or QuorumParameters()
+    machines = (QUORUM_CLIENT, *replicas)
+    nodes = [
+        NodeDefinition(
+            nickname=QUORUM_CLIENT,
+            specification=quorum_client_spec(QUORUM_CLIENT, machines),
+            faults=FaultSpecification.from_definitions(
+                faults_by_machine.get(QUORUM_CLIENT, ())
+            ),
+            application_factory=(
+                lambda parameters=parameters: QuorumClientApplication(replicas, parameters)
+            ),
+            start_host=hosts[0],
+        )
+    ]
+    for index, replica in enumerate(replicas):
+        nodes.append(
+            NodeDefinition(
+                nickname=replica,
+                specification=quorum_replica_spec(replica, machines),
+                faults=FaultSpecification.from_definitions(faults_by_machine.get(replica, ())),
+                application_factory=(
+                    lambda parameters=parameters: QuorumReplicaApplication(parameters)
+                ),
+                start_host=hosts[(index + 1) % len(hosts)],
+            )
+        )
+    return StudyConfig(
+        name=name,
+        hosts=[HostConfig(name=host) for host in hosts],
+        nodes=nodes,
+        experiments=experiments,
+        restart_policy=restart_policy or RestartPolicy(enabled=False),
+        experiment_timeout=experiment_timeout,
+        network=network or NetworkConfig(),
+        seed=seed,
+        weight=weight,
+    )

@@ -1,0 +1,428 @@
+"""Raft-style term-based leader election with log replication.
+
+Three replicas elect a leader by randomized timeout: a follower that hears
+no heartbeat becomes a candidate, increments its *term*, votes for itself,
+and requests votes; a candidate reaching a majority becomes leader for
+that term and replicates a growing command log via append-entries
+heartbeats, advancing its *commit index* once a majority has acknowledged
+a log prefix (commitment is restricted to entries of the leader's own
+term, the Raft rule that makes committed prefixes stable across leader
+changes).  One vote per term plus the up-to-date log check at vote time
+give the two safety properties the protocol-invariant harness replays
+from the timeline notes:
+
+* **election safety** — at most one leader per term (``@raft-leader``);
+* **log matching** — entries committed at the same index never differ
+  across replicas (``@raft-commit``).
+
+``RaftParameters.unsafe_grant_votes`` deliberately breaks both (votes are
+granted without the one-vote-per-term or up-to-date checks, and same-term
+append-entries are accepted while leading); it exists only so
+``tests/protocol/test_invariants_selftest.py`` can prove the invariant
+checkers fail when safety is actually violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.protocol_notes import protocol_note
+from repro.core.campaign import HostConfig, StudyConfig
+from repro.core.expression import And, StateAtom
+from repro.core.runtime.application import LokiApplication, NodeContext
+from repro.core.runtime.context import NodeDefinition, RestartPolicy
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.specs.state_machine import (
+    StateMachineSpecification,
+    StateSpecification,
+    build_specification,
+)
+from repro.sim.topology import NetworkConfig
+
+#: The three replicas of the default Raft group.
+RAFT_MACHINES = ("r1", "r2", "r3")
+
+RAFT_STATES = ("BEGIN", "INIT", "FOLLOWER", "CANDIDATE", "LEADER", "CRASH", "EXIT")
+RAFT_EVENTS = (
+    "INIT_DONE",
+    "TIMEOUT",
+    "ELECTED",
+    "STEP_DOWN",
+    "CRASH",
+    "ERROR",
+)
+
+
+def raft_state_machine_spec(name: str, peers: tuple[str, ...]) -> StateMachineSpecification:
+    """The per-replica election state machine.
+
+    Every protocol state notifies the other replicas so correlated fault
+    expressions (and the dual-leadership measure) can reference them.
+    """
+    others = tuple(peer for peer in peers if peer != name)
+    states = [
+        StateSpecification(
+            name="INIT",
+            notify=others,
+            transitions={"INIT_DONE": "FOLLOWER", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="FOLLOWER",
+            notify=others,
+            transitions={"TIMEOUT": "CANDIDATE", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="CANDIDATE",
+            notify=others,
+            transitions={
+                "TIMEOUT": "CANDIDATE",
+                "ELECTED": "LEADER",
+                "STEP_DOWN": "FOLLOWER",
+                "CRASH": "CRASH",
+                "ERROR": "EXIT",
+            },
+        ),
+        StateSpecification(
+            name="LEADER",
+            notify=others,
+            transitions={"STEP_DOWN": "FOLLOWER", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(name="CRASH", notify=others, transitions={}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, RAFT_STATES, RAFT_EVENTS, states)
+
+
+def raft_leader_crash_fault(machine: str, name: str | None = None) -> FaultDefinition:
+    """``(machine:LEADER) once`` — crash the machine once it leads."""
+    return FaultDefinition(
+        name=name or f"{machine}lead1",
+        expression=StateAtom(machine, "LEADER"),
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+def raft_correlated_candidate_fault(
+    crashed: str, candidate: str, name: str | None = None
+) -> FaultDefinition:
+    """``((crashed:CRASH) & (candidate:CANDIDATE)) once``.
+
+    The compound failure of the scenario suite: after the leader has
+    crashed, crash a replica exactly while it campaigns in the ensuing
+    re-election — the global state in which the group is one failure away
+    from losing its majority.
+    """
+    expression = And(StateAtom(crashed, "CRASH"), StateAtom(candidate, "CANDIDATE"))
+    return FaultDefinition(
+        name=name or f"{candidate}cand1",
+        expression=expression,
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+def raft_follower_crash_fault(machine: str, name: str | None = None) -> FaultDefinition:
+    """``(machine:FOLLOWER) once`` — an uncorrelated follower crash."""
+    return FaultDefinition(
+        name=name or f"{machine}fol1",
+        expression=StateAtom(machine, "FOLLOWER"),
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+@dataclass
+class RaftParameters:
+    """Tunable timing and behaviour of one Raft replica."""
+
+    init_delay: float = 0.010
+    election_timeout_min: float = 0.055
+    election_timeout_max: float = 0.095
+    heartbeat_interval: float = 0.018
+    append_interval: float = 0.045
+    run_duration: float = 0.5
+    fault_crash_probability: float = 1.0
+    fault_dormancy: float = 0.002
+    #: Falsifiability knob for the invariant self-test: grant every vote
+    #: request (ignoring one-vote-per-term and log up-to-dateness) and
+    #: accept same-term append-entries while leading.  Never set by the
+    #: registry scenarios.
+    unsafe_grant_votes: bool = False
+
+
+class RaftReplicaApplication(LokiApplication):
+    """One replica of the Raft-style election + log-replication protocol."""
+
+    def __init__(self, parameters: RaftParameters | None = None) -> None:
+        self.parameters = parameters or RaftParameters()
+        self._term = 0
+        self._voted_for: dict[int, str] = {}
+        self._log: list[tuple[int, str]] = []
+        self._commit_index = 0
+        self._votes: set[str] = set()
+        self._acked: dict[str, int] = {}
+        self._sequence = 0
+        self._timer_epoch = 0
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT")
+        ctx.set_timer(self.parameters.run_duration, self._finish, ctx)
+        ctx.set_timer(self.parameters.init_delay, self._initialization_done, ctx)
+
+    def _initialization_done(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT_DONE")
+        self._arm_election_timer(ctx)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive and not self._stopped:
+            self._stopped = True
+            ctx.exit()
+
+    # -- election ----------------------------------------------------------------
+
+    def _election_timeout(self, ctx: NodeContext) -> float:
+        low = self.parameters.election_timeout_min
+        high = self.parameters.election_timeout_max
+        return low + (high - low) * ctx.random.random()
+
+    def _arm_election_timer(self, ctx: NodeContext) -> None:
+        self._timer_epoch += 1
+        ctx.set_timer(
+            self._election_timeout(ctx), self._election_timer_fired, ctx, self._timer_epoch
+        )
+
+    def _election_timer_fired(self, ctx: NodeContext, epoch: int) -> None:
+        if self._stopped or not ctx.alive or epoch != self._timer_epoch:
+            return
+        if ctx.current_state not in ("FOLLOWER", "CANDIDATE"):
+            return
+        self._start_candidacy(ctx)
+
+    def _start_candidacy(self, ctx: NodeContext) -> None:
+        self._term += 1
+        self._voted_for[self._term] = ctx.nickname
+        self._votes = {ctx.nickname}
+        ctx.notify_event("TIMEOUT")
+        ctx.note(protocol_note("raft-vote", term=self._term, by=ctx.nickname, to=ctx.nickname))
+        last_index = len(self._log)
+        last_term = self._log[-1][0] if self._log else 0
+        for peer in ctx.peers():
+            if peer != ctx.nickname:
+                ctx.send(
+                    peer,
+                    {
+                        "type": "request_vote",
+                        "term": self._term,
+                        "last_index": last_index,
+                        "last_term": last_term,
+                    },
+                )
+        self._arm_election_timer(ctx)
+
+    def _log_up_to_date(self, last_term: int, last_index: int) -> bool:
+        mine_term = self._log[-1][0] if self._log else 0
+        mine_index = len(self._log)
+        return (last_term, last_index) >= (mine_term, mine_index)
+
+    def _adopt_term(self, ctx: NodeContext, term: int) -> None:
+        """Move to a newer term, stepping down if leading or campaigning."""
+        if term <= self._term:
+            return
+        self._term = term
+        if ctx.current_state in ("CANDIDATE", "LEADER"):
+            ctx.notify_event("STEP_DOWN")
+        self._votes = set()
+        self._acked = {}
+
+    def _handle_request_vote(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        term = int(payload["term"])
+        if self.parameters.unsafe_grant_votes:
+            # Blindly grant: no term adoption, no one-vote-per-term
+            # bookkeeping, no log up-to-dateness check, and — crucially —
+            # no election-timer reset, so every replica's own candidacy
+            # proceeds and concurrent candidates all win the same term.
+            ctx.note(protocol_note("raft-vote", term=term, by=ctx.nickname, to=source))
+            ctx.send(source, {"type": "vote", "term": term, "granted": True})
+            return
+        self._adopt_term(ctx, term)
+        granted = (
+            term == self._term
+            and self._voted_for.get(term) in (None, source)
+            and self._log_up_to_date(int(payload["last_term"]), int(payload["last_index"]))
+        )
+        if granted:
+            self._voted_for.setdefault(term, source)
+            ctx.note(protocol_note("raft-vote", term=term, by=ctx.nickname, to=source))
+            self._arm_election_timer(ctx)
+        ctx.send(source, {"type": "vote", "term": term, "granted": granted})
+
+    def _handle_vote(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        if ctx.current_state != "CANDIDATE":
+            return
+        if int(payload["term"]) != self._term or not payload["granted"]:
+            return
+        self._votes.add(source)
+        if len(self._votes) * 2 > len(ctx.peers()):
+            self._become_leader(ctx)
+
+    def _become_leader(self, ctx: NodeContext) -> None:
+        ctx.notify_event("ELECTED")
+        ctx.note(protocol_note("raft-leader", term=self._term, node=ctx.nickname))
+        self._acked = {ctx.nickname: len(self._log)}
+        self._append_command(ctx, self._term)
+        self._send_heartbeat(ctx, self._term)
+
+    # -- log replication ---------------------------------------------------------
+
+    def _append_command(self, ctx: NodeContext, term: int) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        if ctx.current_state != "LEADER" or term != self._term:
+            return
+        self._sequence += 1
+        self._log.append((self._term, f"{ctx.nickname}-t{self._term}-n{self._sequence}"))
+        self._acked[ctx.nickname] = len(self._log)
+        ctx.set_timer(self.parameters.append_interval, self._append_command, ctx, term)
+
+    def _send_heartbeat(self, ctx: NodeContext, term: int) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        if ctx.current_state != "LEADER" or term != self._term:
+            return
+        entries = [[entry_term, command] for entry_term, command in self._log]
+        for peer in ctx.peers():
+            if peer != ctx.nickname:
+                ctx.send(
+                    peer,
+                    {
+                        "type": "append",
+                        "term": self._term,
+                        "entries": entries,
+                        "commit": self._commit_index,
+                    },
+                )
+        ctx.set_timer(self.parameters.heartbeat_interval, self._send_heartbeat, ctx, term)
+
+    def _handle_append(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        term = int(payload["term"])
+        if term < self._term:
+            ctx.send(source, {"type": "append_ack", "term": self._term, "length": 0})
+            return
+        self._adopt_term(ctx, term)
+        if ctx.current_state == "LEADER" and not self.parameters.unsafe_grant_votes:
+            # Same-term append from another leader cannot happen under
+            # election safety; drop it defensively rather than obey it.
+            return
+        if ctx.current_state == "CANDIDATE":
+            # A leader of our own term exists; concede the election.
+            ctx.notify_event("STEP_DOWN")
+        self._log = [(int(entry[0]), str(entry[1])) for entry in payload["entries"]]
+        self._advance_commit(ctx, min(int(payload["commit"]), len(self._log)))
+        self._arm_election_timer(ctx)
+        ctx.send(source, {"type": "append_ack", "term": term, "length": len(self._log)})
+
+    def _handle_append_ack(self, ctx: NodeContext, source: str, payload: dict) -> None:
+        if ctx.current_state != "LEADER" or int(payload["term"]) != self._term:
+            if int(payload["term"]) > self._term:
+                self._adopt_term(ctx, int(payload["term"]))
+            return
+        self._acked[source] = max(self._acked.get(source, 0), int(payload["length"]))
+        lengths = sorted(
+            (self._acked.get(peer, 0) for peer in ctx.peers()), reverse=True
+        )
+        # Clamp to the local log: under the unsafe self-test knob another
+        # same-term leader may have replaced our log with a shorter one
+        # after the acknowledgements were counted.
+        majority_length = min(lengths[len(ctx.peers()) // 2], len(self._log))
+        # The Raft commit rule: only entries of the leader's current term
+        # are committed by counting acknowledgements.
+        if majority_length > self._commit_index and majority_length > 0:
+            if self._log[majority_length - 1][0] == self._term:
+                self._advance_commit(ctx, majority_length)
+
+    def _advance_commit(self, ctx: NodeContext, new_commit: int) -> None:
+        while self._commit_index < new_commit:
+            self._commit_index += 1
+            term, command = self._log[self._commit_index - 1]
+            ctx.note(
+                protocol_note(
+                    "raft-commit",
+                    node=ctx.nickname,
+                    index=self._commit_index,
+                    term=term,
+                    cmd=command,
+                )
+            )
+
+    # -- message dispatch --------------------------------------------------------
+
+    def on_message(self, ctx: NodeContext, source: str, payload: object) -> None:
+        if self._stopped or not isinstance(payload, dict):
+            return
+        kind = payload.get("type")
+        if kind == "request_vote":
+            self._handle_request_vote(ctx, source, payload)
+        elif kind == "vote":
+            self._handle_vote(ctx, source, payload)
+        elif kind == "append":
+            self._handle_append(ctx, source, payload)
+        elif kind == "append_ack":
+            self._handle_append_ack(ctx, source, payload)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        if ctx.random.random() < self.parameters.fault_crash_probability:
+            ctx.set_timer(
+                self.parameters.fault_dormancy,
+                lambda: ctx.crash(reason=f"fault {fault_name} became an error"),
+            )
+
+
+def build_raft_study(
+    name: str,
+    faults_by_machine: dict[str, tuple[FaultDefinition, ...]] | None = None,
+    machines: tuple[str, ...] = RAFT_MACHINES,
+    hosts: tuple[str, ...] = ("hosta", "hostb", "hostc"),
+    experiments: int = 20,
+    parameters_by_machine: dict[str, RaftParameters] | None = None,
+    restart_policy: RestartPolicy | None = None,
+    experiment_timeout: float = 4.0,
+    network: NetworkConfig | None = None,
+    seed: int = 0,
+    weight: float = 1.0,
+) -> StudyConfig:
+    """Assemble a ready-to-run Raft election/replication study.
+
+    Machines are placed round-robin on the hosts; restarts are disabled by
+    default (a crashed replica stays crashed, the crash-stop model the
+    safety argument assumes).
+    """
+    faults_by_machine = faults_by_machine or {}
+    parameters_by_machine = parameters_by_machine or {}
+    nodes: list[NodeDefinition] = []
+    for index, machine in enumerate(machines):
+        parameters = parameters_by_machine.get(machine, RaftParameters())
+        nodes.append(
+            NodeDefinition(
+                nickname=machine,
+                specification=raft_state_machine_spec(machine, machines),
+                faults=FaultSpecification.from_definitions(faults_by_machine.get(machine, ())),
+                application_factory=(
+                    lambda parameters=parameters: RaftReplicaApplication(parameters)
+                ),
+                start_host=hosts[index % len(hosts)],
+            )
+        )
+    return StudyConfig(
+        name=name,
+        hosts=[HostConfig(name=host) for host in hosts],
+        nodes=nodes,
+        experiments=experiments,
+        restart_policy=restart_policy or RestartPolicy(enabled=False),
+        experiment_timeout=experiment_timeout,
+        network=network or NetworkConfig(),
+        seed=seed,
+        weight=weight,
+    )

@@ -1,0 +1,348 @@
+"""A SWIM-style gossip failure detector.
+
+Each member periodically pings one peer (randomized round-robin); a
+missing direct ack falls back to indirect probing via *ping-req* proxies,
+and a peer that stays silent is first *suspected* (gossiped, refutable by
+an ``alive`` message from the accused) and, after a suspicion timeout,
+*confirmed* dead (``@swim-confirm`` note, terminal).  The
+protocol-invariant harness replays the notes to assert the detector's
+crash-variant safety property — a confirmed-dead member really crashed —
+and the partition scenario measures the classic SWIM trade-off the Loki
+paper's measure machinery was built for: the number of *false* confirms
+produced by a network partition of a given length (no member crashed, so
+every confirmation is a false positive).
+
+There is no dedicated "broken" flag: misconfiguring the detector with an
+ack timeout below the network round trip (see
+``tests/protocol/test_invariants_selftest.py``) makes every ping fail and
+every member get confirmed dead while provably alive, which is how the
+confirmed-dead checker is shown to be falsifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.protocol_notes import protocol_note
+from repro.core.campaign import HostConfig, StudyConfig
+from repro.core.expression import And, StateAtom
+from repro.core.runtime.application import LokiApplication, NodeContext
+from repro.core.runtime.context import NodeDefinition, RestartPolicy
+from repro.core.specs.fault_spec import FaultDefinition, FaultSpecification, FaultTrigger
+from repro.core.specs.state_machine import (
+    StateMachineSpecification,
+    StateSpecification,
+    build_specification,
+)
+from repro.sim.topology import NetworkConfig
+
+#: The default four-member group (two members share ``hosta``).
+SWIM_MACHINES = ("m1", "m2", "m3", "m4")
+
+SWIM_STATES = ("BEGIN", "INIT", "ACTIVE", "SUSPECTING", "CONFIRMING", "CRASH", "EXIT")
+SWIM_EVENTS = (
+    "INIT_DONE",
+    "SUSPECT",
+    "CLEAR",
+    "CONFIRM",
+    "CONFIRM_DONE",
+    "CRASH",
+    "ERROR",
+)
+
+
+def swim_state_machine_spec(name: str, peers: tuple[str, ...]) -> StateMachineSpecification:
+    """One member's detector state machine.
+
+    ``SUSPECTING`` is occupied while at least one peer is locally
+    suspected; ``CONFIRMING`` marks the instant a suspicion hardens into a
+    declaration of death (the state the false-positive measure counts).
+    """
+    others = tuple(peer for peer in peers if peer != name)
+    states = [
+        StateSpecification(
+            name="INIT", notify=others, transitions={"INIT_DONE": "ACTIVE", "ERROR": "EXIT"}
+        ),
+        StateSpecification(
+            name="ACTIVE",
+            notify=others,
+            transitions={"SUSPECT": "SUSPECTING", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(
+            name="SUSPECTING",
+            notify=others,
+            transitions={
+                "SUSPECT": "SUSPECTING",
+                "CLEAR": "ACTIVE",
+                "CONFIRM": "CONFIRMING",
+                "CRASH": "CRASH",
+                "ERROR": "EXIT",
+            },
+        ),
+        StateSpecification(
+            name="CONFIRMING",
+            notify=others,
+            transitions={"CONFIRM_DONE": "ACTIVE", "CRASH": "CRASH", "ERROR": "EXIT"},
+        ),
+        StateSpecification(name="CRASH", notify=others, transitions={}),
+        StateSpecification(name="EXIT", notify=(), transitions={}),
+    ]
+    return build_specification(name, SWIM_STATES, SWIM_EVENTS, states)
+
+
+def swim_member_crash_fault(machine: str, name: str | None = None) -> FaultDefinition:
+    """``(machine:ACTIVE) once`` — crash a healthy member."""
+    return FaultDefinition(
+        name=name or f"{machine}act1",
+        expression=StateAtom(machine, "ACTIVE"),
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+def swim_correlated_detector_fault(
+    crashed: str, detector: str, name: str | None = None
+) -> FaultDefinition:
+    """``((crashed:CRASH) & (detector:SUSPECTING)) once``.
+
+    The compound failure: the detector crashes exactly while it is
+    mid-detection of the first crash — the global state in which the
+    group's failure information is at its most fragile.
+    """
+    expression = And(StateAtom(crashed, "CRASH"), StateAtom(detector, "SUSPECTING"))
+    return FaultDefinition(
+        name=name or f"{detector}sus1",
+        expression=expression,
+        trigger=FaultTrigger.ONCE,
+    )
+
+
+@dataclass
+class SwimParameters:
+    """Protocol-period timing of one SWIM member."""
+
+    init_delay: float = 0.010
+    protocol_period: float = 0.035
+    ack_timeout: float = 0.014
+    suspicion_timeout: float = 0.070
+    confirm_dwell: float = 0.004
+    ping_req_proxies: int = 1
+    run_duration: float = 0.5
+    fault_crash_probability: float = 1.0
+    fault_dormancy: float = 0.002
+
+
+class SwimMemberApplication(LokiApplication):
+    """One member of the gossip failure-detector group."""
+
+    def __init__(self, parameters: SwimParameters | None = None) -> None:
+        self.parameters = parameters or SwimParameters()
+        self._sequence = 0
+        self._incarnation = 0
+        self._pending: dict[int, str] = {}
+        self._suspected: dict[str, int] = {}
+        self._confirmed: set[str] = set()
+        self._rotation: list[str] = []
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT")
+        ctx.set_timer(self.parameters.run_duration, self._finish, ctx)
+        ctx.set_timer(self.parameters.init_delay, self._initialization_done, ctx)
+
+    def _initialization_done(self, ctx: NodeContext) -> None:
+        ctx.notify_event("INIT_DONE")
+        self._protocol_tick(ctx)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        if ctx.alive and not self._stopped:
+            self._stopped = True
+            ctx.exit()
+
+    # -- the probe cycle ---------------------------------------------------------
+
+    def _members(self, ctx: NodeContext) -> list[str]:
+        return [
+            peer
+            for peer in ctx.peers()
+            if peer != ctx.nickname and peer not in self._confirmed
+        ]
+
+    def _next_target(self, ctx: NodeContext) -> str | None:
+        members = self._members(ctx)
+        if not members:
+            return None
+        if not self._rotation:
+            # SWIM's randomized round-robin: a fresh shuffle per cycle
+            # bounds worst-case detection time while avoiding lockstep.
+            rotation = list(members)
+            for index in range(len(rotation) - 1, 0, -1):
+                swap = int(ctx.random.random() * (index + 1))
+                rotation[index], rotation[swap] = rotation[swap], rotation[index]
+            self._rotation = rotation
+        while self._rotation:
+            target = self._rotation.pop()
+            if target in members:
+                return target
+        return self._next_target(ctx)
+
+    def _protocol_tick(self, ctx: NodeContext) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        target = self._next_target(ctx)
+        if target is not None:
+            self._sequence += 1
+            self._pending[self._sequence] = target
+            ctx.send(target, {"type": "ping", "seq": self._sequence, "origin": ctx.nickname})
+            ctx.set_timer(self.parameters.ack_timeout, self._direct_timeout, ctx, self._sequence)
+        ctx.set_timer(self.parameters.protocol_period, self._protocol_tick, ctx)
+
+    def _direct_timeout(self, ctx: NodeContext, sequence: int) -> None:
+        if self._stopped or not ctx.alive or sequence not in self._pending:
+            return
+        target = self._pending[sequence]
+        proxies = [peer for peer in self._members(ctx) if peer != target]
+        for proxy in proxies[: self.parameters.ping_req_proxies]:
+            ctx.send(proxy, {"type": "ping_req", "seq": sequence, "target": target})
+        ctx.set_timer(self.parameters.ack_timeout, self._indirect_timeout, ctx, sequence)
+
+    def _indirect_timeout(self, ctx: NodeContext, sequence: int) -> None:
+        if self._stopped or not ctx.alive or sequence not in self._pending:
+            return
+        target = self._pending.pop(sequence)
+        self._suspect(ctx, target)
+
+    # -- suspicion, refutation, confirmation --------------------------------------
+
+    def _suspect(self, ctx: NodeContext, target: str) -> None:
+        if target in self._confirmed or target in self._suspected:
+            return
+        self._incarnation += 1
+        self._suspected[target] = self._incarnation
+        ctx.note(protocol_note("swim-suspect", by=ctx.nickname, target=target))
+        if ctx.current_state in ("ACTIVE", "SUSPECTING"):
+            ctx.notify_event("SUSPECT")
+        for peer in self._members(ctx):
+            if peer != target:
+                ctx.send(peer, {"type": "suspect", "target": target})
+        ctx.set_timer(
+            self.parameters.suspicion_timeout, self._suspicion_expired, ctx, target,
+            self._suspected[target],
+        )
+
+    def _suspicion_expired(self, ctx: NodeContext, target: str, token: int) -> None:
+        if self._stopped or not ctx.alive:
+            return
+        if self._suspected.get(target) != token or target in self._confirmed:
+            return
+        del self._suspected[target]
+        self._confirmed.add(target)
+        ctx.note(protocol_note("swim-confirm", by=ctx.nickname, target=target))
+        if ctx.current_state in ("ACTIVE", "SUSPECTING"):
+            if ctx.current_state != "SUSPECTING":
+                ctx.notify_event("SUSPECT")
+            ctx.notify_event("CONFIRM")
+            ctx.set_timer(self.parameters.confirm_dwell, self._confirm_done, ctx)
+        for peer in self._members(ctx):
+            ctx.send(peer, {"type": "confirm", "target": target})
+
+    def _confirm_done(self, ctx: NodeContext) -> None:
+        if not self._stopped and ctx.alive and ctx.current_state == "CONFIRMING":
+            ctx.notify_event("CONFIRM_DONE")
+
+    def _clear_suspicion(self, ctx: NodeContext, target: str) -> None:
+        if target in self._suspected:
+            del self._suspected[target]
+            ctx.note(protocol_note("swim-clear", by=ctx.nickname, target=target))
+            if not self._suspected and ctx.current_state == "SUSPECTING":
+                ctx.notify_event("CLEAR")
+
+    # -- message dispatch --------------------------------------------------------
+
+    def on_message(self, ctx: NodeContext, source: str, payload: object) -> None:
+        if self._stopped or not isinstance(payload, dict):
+            return
+        kind = payload.get("type")
+        if kind == "ping":
+            ctx.send(str(payload["origin"]), {"type": "ack", "seq": payload["seq"]})
+        elif kind == "ping_req":
+            ctx.send(
+                str(payload["target"]),
+                {"type": "ping", "seq": payload["seq"], "origin": source},
+            )
+        elif kind == "ack":
+            sequence = int(payload["seq"])
+            target = self._pending.pop(sequence, None)
+            if target is not None:
+                self._clear_suspicion(ctx, target)
+        elif kind == "suspect":
+            target = str(payload["target"])
+            if target == ctx.nickname:
+                # Refute: I am alive; tell everyone directly.
+                self._incarnation += 1
+                for peer in self._members(ctx):
+                    ctx.send(peer, {"type": "alive", "member": ctx.nickname})
+            elif target not in self._confirmed:
+                self._suspect(ctx, target)
+        elif kind == "alive":
+            self._clear_suspicion(ctx, str(payload["member"]))
+        elif kind == "confirm":
+            target = str(payload["target"])
+            if target != ctx.nickname and target not in self._confirmed:
+                self._confirmed.add(target)
+                self._suspected.pop(target, None)
+                if not self._suspected and ctx.current_state == "SUSPECTING":
+                    ctx.notify_event("CLEAR")
+
+    # -- fault injection ---------------------------------------------------------
+
+    def on_fault(self, ctx: NodeContext, fault_name: str) -> None:
+        if ctx.random.random() < self.parameters.fault_crash_probability:
+            ctx.set_timer(
+                self.parameters.fault_dormancy,
+                lambda: ctx.crash(reason=f"fault {fault_name} became an error"),
+            )
+
+
+def build_swim_study(
+    name: str,
+    faults_by_machine: dict[str, tuple[FaultDefinition, ...]] | None = None,
+    machines: tuple[str, ...] = SWIM_MACHINES,
+    hosts: tuple[str, ...] = ("hosta", "hostb", "hostc"),
+    experiments: int = 20,
+    parameters_by_machine: dict[str, SwimParameters] | None = None,
+    restart_policy: RestartPolicy | None = None,
+    experiment_timeout: float = 4.0,
+    network: NetworkConfig | None = None,
+    seed: int = 0,
+    weight: float = 1.0,
+) -> StudyConfig:
+    """Assemble a SWIM failure-detector study (members round-robin on hosts)."""
+    faults_by_machine = faults_by_machine or {}
+    parameters_by_machine = parameters_by_machine or {}
+    nodes: list[NodeDefinition] = []
+    for index, machine in enumerate(machines):
+        parameters = parameters_by_machine.get(machine, SwimParameters())
+        nodes.append(
+            NodeDefinition(
+                nickname=machine,
+                specification=swim_state_machine_spec(machine, machines),
+                faults=FaultSpecification.from_definitions(faults_by_machine.get(machine, ())),
+                application_factory=(
+                    lambda parameters=parameters: SwimMemberApplication(parameters)
+                ),
+                start_host=hosts[index % len(hosts)],
+            )
+        )
+    return StudyConfig(
+        name=name,
+        hosts=[HostConfig(name=host) for host in hosts],
+        nodes=nodes,
+        experiments=experiments,
+        restart_policy=restart_policy or RestartPolicy(enabled=False),
+        experiment_timeout=experiment_timeout,
+        network=network or NetworkConfig(),
+        seed=seed,
+        weight=weight,
+    )

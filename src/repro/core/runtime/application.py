@@ -113,6 +113,16 @@ class NodeContext:
         """Send a local event notification to the state machine."""
         self._node.probe.notify_event(name)
 
+    def note(self, text: str) -> None:
+        """Attach a free-form note to the node's local timeline.
+
+        Notes ride along with the timeline through both store codecs, so
+        protocol-level facts that are richer than a state name (terms,
+        commit indices, read versions) survive into offline analysis; the
+        protocol-invariant harness in ``tests/protocol`` replays them.
+        """
+        self._node.recorder.record_note(text)
+
     def local_time(self) -> float:
         """Read the local hardware clock."""
         return self._node.local_clock()

@@ -185,7 +185,9 @@ class TotalDuration(ObservationFunction):
         upper = _resolve(self.end, timeline.end)
         if upper < lower:
             return 0.0
-        true_time = timeline.true_duration(lower, upper)
+        # Coerce: an empty interval set sums to int 0, and the hex-exact
+        # golden/codec round trips require a genuine float here.
+        true_time = float(timeline.true_duration(lower, upper))
         if self.value == "T":
             return true_time
         return (upper - lower) - true_time

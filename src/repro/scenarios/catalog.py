@@ -9,10 +9,33 @@ token-ring partition-and-heal with token-regeneration races, and a leader
 election under an asymmetric (one-way) link outage.  All builders are
 small closures over the ``build_*_study`` helpers of :mod:`repro.apps`, so
 everything shown here is buildable with the public API alone.
+
+The *protocol suite* adds four real-protocol workloads, each in a
+correlated, an uncorrelated, and a partition variant:
+
+* ``raft-election*`` — term-based election with log replication; the
+  headline measure is the time any two replicas led simultaneously;
+* ``quorum-register*`` — a quorum read/write register with read-repair;
+  the measure counts stale reads observed by the client;
+* ``swim-detector*`` / ``swim-partition`` — the SWIM gossip failure
+  detector; the measure counts confirm verdicts, which under a partition
+  with no crash faults are all false positives;
+* ``dfs-master*`` — a DFS master/replica workload; the measure is the
+  total time the master's audit held the group in ``DIVERGED``.
+
+The machine-checkable safety properties behind these measures (election
+safety, read quorum intersection, confirmed-dead-really-crashed, committed
+prefix agreement, store consistency) are replayed from archived timelines
+by ``tests/protocol/invariants.py``.
 """
 
 from __future__ import annotations
 
+from repro.apps.dfsmaster import (
+    build_dfs_study,
+    dfs_correlated_datanode_fault,
+    dfs_datanode_crash_fault,
+)
 from repro.apps.election import (
     DEFAULT_MACHINES as ELECTION_MACHINES,
     ElectionParameters,
@@ -20,7 +43,25 @@ from repro.apps.election import (
     coverage_study_measure,
     leader_fault,
 )
+from repro.apps.quorum import (
+    build_quorum_study,
+    quorum_correlated_replica_fault,
+    quorum_replica_crash_fault,
+)
+from repro.apps.raft import (
+    RAFT_MACHINES,
+    RaftParameters,
+    build_raft_study,
+    raft_correlated_candidate_fault,
+    raft_follower_crash_fault,
+    raft_leader_crash_fault,
+)
 from repro.apps.replication import build_replication_study
+from repro.apps.swim import (
+    build_swim_study,
+    swim_correlated_detector_fault,
+    swim_member_crash_fault,
+)
 from repro.apps.tokenring import (
     build_tokenring_study,
     holder_crash_fault,
@@ -89,6 +130,59 @@ def _election_reelection_measure() -> StudyMeasure:
     return StudyMeasure(
         name="yellow-reelections",
         steps=(MeasureStep(StateTuple("yellow", "ELECT"), Count(edge="U")),),
+    )
+
+
+def _raft_dual_leadership_measure() -> StudyMeasure:
+    """Total time any two Raft replicas were in ``LEADER`` simultaneously.
+
+    Raft's election safety allows this to be non-zero only across *terms*
+    (a deposed leader that has not yet heard of the new term); the
+    per-term assertion lives in the protocol harness.  Under the crash
+    variants the expected value is zero.
+    """
+    pairs = (
+        StateTuple("r1", "LEADER") & StateTuple("r2", "LEADER"),
+        StateTuple("r1", "LEADER") & StateTuple("r3", "LEADER"),
+        StateTuple("r2", "LEADER") & StateTuple("r3", "LEADER"),
+    )
+    overlap = pairs[0] | pairs[1] | pairs[2]
+    return StudyMeasure(
+        name="dual-leadership",
+        steps=(MeasureStep(overlap, TotalDuration("T")),),
+    )
+
+
+def _quorum_stale_read_measure() -> StudyMeasure:
+    """How many reads returned a version older than the last commit."""
+    return StudyMeasure(
+        name="stale-reads",
+        steps=(MeasureStep(StateTuple("client", "STALE"), Count(edge="U")),),
+    )
+
+
+def _swim_confirm_measure() -> StudyMeasure:
+    """How many confirm verdicts any member originated.
+
+    Under the crash variants these are true positives; under the
+    partition variant (no crash faults at all) every single one is a
+    false positive, so the count *is* the false-detection rate.
+    """
+    members = ("m1", "m2", "m3", "m4")
+    confirming = StateTuple(members[0], "CONFIRMING")
+    for member in members[1:]:
+        confirming = confirming | StateTuple(member, "CONFIRMING")
+    return StudyMeasure(
+        name="confirm-events",
+        steps=(MeasureStep(confirming, Count(edge="U")),),
+    )
+
+
+def _dfs_divergence_measure() -> StudyMeasure:
+    """Total time the master's audit held the group in ``DIVERGED``."""
+    return StudyMeasure(
+        name="replica-divergence",
+        steps=(MeasureStep(StateTuple("master", "DIVERGED"), TotalDuration("T")),),
     )
 
 
@@ -272,6 +366,255 @@ def _build_election_asymmetric_link(
 
 
 # ---------------------------------------------------------------------------
+# Protocol-suite builders
+# ---------------------------------------------------------------------------
+
+def _raft_parameters() -> dict[str, RaftParameters]:
+    """Favor ``r1`` with a shorter election timeout.
+
+    Like the favored candidate of the classic election scenario, this
+    makes the *first* leader deterministic (r1, term 1) without touching
+    the randomized timers that resolve the re-election after it crashes.
+    """
+    return {
+        machine: (
+            RaftParameters(election_timeout_min=0.030, election_timeout_max=0.045)
+            if machine == "r1"
+            else RaftParameters()
+        )
+        for machine in RAFT_MACHINES
+    }
+
+
+def _build_raft(
+    name: str = "raft-election", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Leader crash plus a correlated candidate crash in the re-election.
+
+    ``r1`` (favored) leads term 1 and is crashed in the ``LEADER`` state;
+    the second fault crashes ``r2`` exactly while it campaigns in the
+    ensuing re-election — the global state in which the group is one
+    failure from losing its majority.
+    """
+    return build_raft_study(
+        name=name,
+        faults_by_machine={
+            "r1": (raft_leader_crash_fault("r1"),),
+            "r2": (raft_correlated_candidate_fault("r1", "r2"),),
+        },
+        parameters_by_machine=_raft_parameters(),
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_raft_uncorrelated(
+    name: str = "raft-election-uncorrelated", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_raft_study(
+        name=name,
+        faults_by_machine={"r3": (raft_follower_crash_fault("r3"),)},
+        parameters_by_machine=_raft_parameters(),
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_raft_partition(
+    name: str = "raft-election-partition", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Isolate the leader's host the moment it starts leading.
+
+    ``r1`` (on ``hosta``) keeps believing it leads term 1 while the
+    majority side elects a term-2 leader; the ``dual-leadership`` measure
+    captures the cross-term overlap, and the per-term election-safety
+    invariant still holds.
+    """
+    isolation = NetworkFaultSpec(
+        kind=NetworkFaultKind.PARTITION,
+        groups=(("hosta",), ("hostb", "hostc")),
+        duration=0.15,
+    )
+    fault = network_fault("r1part1", StateAtom("r1", "LEADER"), isolation)
+    return build_raft_study(
+        name=name,
+        faults_by_machine={"r1": (fault,)},
+        parameters_by_machine=_raft_parameters(),
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_quorum(
+    name: str = "quorum-register", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Crash replica ``q1`` exactly inside the client's write window."""
+    return build_quorum_study(
+        name=name,
+        faults_by_machine={"q1": (quorum_correlated_replica_fault("q1"),)},
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_quorum_uncorrelated(
+    name: str = "quorum-register-uncorrelated", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_quorum_study(
+        name=name,
+        faults_by_machine={"q2": (quorum_replica_crash_fault("q2"),)},
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_quorum_partition(
+    name: str = "quorum-register-partition", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Cut replica ``q1``'s host off exactly while the client writes.
+
+    The write still commits on the majority side (W=2 of the remaining
+    replicas); after the automatic heal the stale replica is caught by
+    the next read's version comparison and read-repaired.  Quorum
+    intersection keeps the stale-read count at zero throughout.
+    """
+    isolation = NetworkFaultSpec(
+        kind=NetworkFaultKind.PARTITION,
+        groups=(("hostb",), ("hosta", "hostc")),
+        duration=0.08,
+    )
+    fault = network_fault("q1part1", StateAtom("client", "WRITING"), isolation)
+    return build_quorum_study(
+        name=name,
+        faults_by_machine={"client": (fault,)},
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_swim(
+    name: str = "swim-detector", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Crash ``m1``, then crash ``m2`` exactly while it suspects ``m1``."""
+    return build_swim_study(
+        name=name,
+        faults_by_machine={
+            "m1": (swim_member_crash_fault("m1"),),
+            "m2": (swim_correlated_detector_fault("m1", "m2"),),
+        },
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_swim_uncorrelated(
+    name: str = "swim-detector-uncorrelated", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_swim_study(
+        name=name,
+        faults_by_machine={"m3": (swim_member_crash_fault("m3"),)},
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_swim_partition(
+    name: str = "swim-partition", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Split the group with no crash faults at all: pure false positives.
+
+    While ``hosta`` (members ``m1`` and ``m4``) is cut off from the other
+    two hosts, pings and ping-reqs across the cut die, suspicions mature
+    into confirm verdicts, and every one of them is wrong — nothing ever
+    crashed.  The ``confirm-events`` count is the false-detection rate as
+    a function of the partition length.
+    """
+    schedule = (
+        ScheduledNetworkFault(
+            at=0.10,
+            spec=NetworkFaultSpec(
+                kind=NetworkFaultKind.PARTITION,
+                groups=(("hosta",), ("hostb", "hostc")),
+            ),
+            name="swim-split",
+        ),
+        ScheduledNetworkFault(
+            at=0.25,
+            spec=NetworkFaultSpec(kind=NetworkFaultKind.HEAL),
+            name="swim-heal",
+        ),
+    )
+    return build_swim_study(
+        name=name,
+        faults_by_machine={},
+        network=NetworkConfig(schedule=schedule),
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_dfs(
+    name: str = "dfs-master", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """Crash datanode ``d1`` exactly inside the master's audit window.
+
+    Placed after several commits, the crash leaves committed chunks
+    under-replicated; the master's heartbeat-silence detector marks the
+    node dead and re-replicates its chunks from surviving replicas
+    (``@dfs-rereplicate`` notes in the timelines).
+    """
+    return build_dfs_study(
+        name=name,
+        faults_by_machine={"d1": (dfs_correlated_datanode_fault("d1"),)},
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_dfs_uncorrelated(
+    name: str = "dfs-master-uncorrelated", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    return build_dfs_study(
+        name=name,
+        faults_by_machine={"d2": (dfs_datanode_crash_fault("d2"),)},
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+def _build_dfs_partition(
+    name: str = "dfs-master-partition", experiments: int = 4, seed: int = 0
+) -> StudyConfig:
+    """A short split leaves ``d1`` stale but still placed.
+
+    The partition (50 ms) is shorter than the master's dead timeout
+    (70 ms), so ``d1`` is never declared dead and keeps its placements —
+    but it misses the versioned chunk updates made while it was cut off.
+    After the heal its heartbeat digests advertise the stale versions and
+    the audit drives the master into ``DIVERGED`` until its repair stores
+    land; the ``replica-divergence`` measure is that repair time.
+    """
+    schedule = (
+        ScheduledNetworkFault(
+            at=0.10,
+            spec=NetworkFaultSpec(
+                kind=NetworkFaultKind.PARTITION,
+                groups=(("hostb",), ("hosta", "hostc")),
+                duration=0.05,
+            ),
+            name="dfs-split",
+        ),
+    )
+    return build_dfs_study(
+        name=name,
+        faults_by_machine={},
+        network=NetworkConfig(schedule=schedule),
+        experiments=experiments,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
 # The default registry
 # ---------------------------------------------------------------------------
 
@@ -359,6 +702,102 @@ def build_default_registry() -> ScenarioRegistry:
                 measure_factory=_election_reelection_measure,
                 tags=("network", "asymmetric"),
             ),
+            Scenario(
+                name="raft-election",
+                description="Raft-style election + log replication; crash the "
+                "leader, then a candidate mid-re-election",
+                builder=_build_raft,
+                measure_factory=_raft_dual_leadership_measure,
+                tags=("protocol", "correlated"),
+            ),
+            Scenario(
+                name="raft-election-uncorrelated",
+                description="Raft-style election + log replication; crash a "
+                "follower independent of the election",
+                builder=_build_raft_uncorrelated,
+                measure_factory=_raft_dual_leadership_measure,
+                tags=("protocol", "uncorrelated"),
+            ),
+            Scenario(
+                name="raft-election-partition",
+                description="Raft-style election; isolate the leader's host "
+                "the moment it leads (cross-term dual leadership)",
+                builder=_build_raft_partition,
+                measure_factory=_raft_dual_leadership_measure,
+                tags=("protocol", "network", "partition"),
+            ),
+            Scenario(
+                name="quorum-register",
+                description="quorum read/write register with read-repair; "
+                "crash a replica inside the client's write window",
+                builder=_build_quorum,
+                measure_factory=_quorum_stale_read_measure,
+                tags=("protocol", "correlated"),
+            ),
+            Scenario(
+                name="quorum-register-uncorrelated",
+                description="quorum read/write register; crash a serving "
+                "replica independent of the client",
+                builder=_build_quorum_uncorrelated,
+                measure_factory=_quorum_stale_read_measure,
+                tags=("protocol", "uncorrelated"),
+            ),
+            Scenario(
+                name="quorum-register-partition",
+                description="quorum read/write register; cut a replica's host "
+                "off mid-write, then auto-heal and read-repair",
+                builder=_build_quorum_partition,
+                measure_factory=_quorum_stale_read_measure,
+                tags=("protocol", "network", "partition"),
+            ),
+            Scenario(
+                name="swim-detector",
+                description="SWIM gossip failure detector; crash a member, "
+                "then its detector mid-suspicion",
+                builder=_build_swim,
+                measure_factory=_swim_confirm_measure,
+                tags=("protocol", "correlated"),
+            ),
+            Scenario(
+                name="swim-detector-uncorrelated",
+                description="SWIM gossip failure detector; one uncorrelated "
+                "member crash",
+                builder=_build_swim_uncorrelated,
+                measure_factory=_swim_confirm_measure,
+                tags=("protocol", "uncorrelated"),
+            ),
+            Scenario(
+                name="swim-partition",
+                description="SWIM gossip failure detector; scheduled partition "
+                "and heal with no crashes — every confirm is a false positive",
+                builder=_build_swim_partition,
+                measure_factory=_swim_confirm_measure,
+                tags=("protocol", "network", "partition", "scheduled"),
+            ),
+            Scenario(
+                name="dfs-master",
+                description="DFS master/replica placement; crash a datanode "
+                "inside the audit window, forcing re-replication",
+                builder=_build_dfs,
+                measure_factory=_dfs_divergence_measure,
+                tags=("protocol", "correlated"),
+            ),
+            Scenario(
+                name="dfs-master-uncorrelated",
+                description="DFS master/replica placement; one uncorrelated "
+                "datanode crash",
+                builder=_build_dfs_uncorrelated,
+                measure_factory=_dfs_divergence_measure,
+                tags=("protocol", "uncorrelated"),
+            ),
+            Scenario(
+                name="dfs-master-partition",
+                description="DFS master/replica placement; a short split "
+                "leaves a replica stale and the audit flags the divergence",
+                builder=_build_dfs_partition,
+                measure_factory=_dfs_divergence_measure,
+                tags=("protocol", "network", "partition", "scheduled"),
+            ),
         ]
     )
 
@@ -370,3 +809,13 @@ DEFAULT_REGISTRY = build_default_registry()
 def default_registry() -> ScenarioRegistry:
     """The process-wide default scenario registry."""
     return DEFAULT_REGISTRY
+
+
+if __name__ == "__main__":  # pragma: no cover — developer convenience
+    from pathlib import Path
+
+    _readme = Path(__file__).resolve().parents[3] / "README.md"
+    if DEFAULT_REGISTRY.sync_markdown_table(_readme):
+        print(f"{_readme}: scenario table already in sync")
+    else:
+        print(f"{_readme}: scenario table regenerated")

@@ -15,7 +15,9 @@ never drift from what actually runs.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.core.campaign import CampaignConfig, StudyConfig
@@ -133,14 +135,20 @@ class ScenarioRegistry:
         """Look up a scenario by name.
 
         Unknown names raise :class:`~repro.errors.UnknownScenarioError`
-        listing every registered scenario, never a bare ``KeyError``.
+        listing every registered scenario — never a bare ``KeyError`` —
+        and, when the name is close to a registered one, leading with a
+        "did you mean" suggestion so a typo is a one-glance fix.
         """
         try:
             return self._scenarios[name]
         except KeyError:
             known = ", ".join(self.names()) or "<none>"
+            close = difflib.get_close_matches(name, self.names(), n=3, cutoff=0.5)
+            hint = ""
+            if close:
+                hint = " did you mean " + " or ".join(repr(match) for match in close) + "?"
             raise UnknownScenarioError(
-                f"unknown scenario {name!r}; known scenarios: {known}"
+                f"unknown scenario {name!r};{hint} known scenarios: {known}"
             ) from None
 
     def names(self) -> tuple[str, ...]:
@@ -215,3 +223,36 @@ class ScenarioRegistry:
             measures = ", ".join(scenario.measure_names()) or "—"
             lines.append(f"| `{scenario.name}` | {faults} | {measures} |")
         return "\n".join(lines)
+
+    def sync_markdown_table(
+        self,
+        path: str | Path,
+        begin: str = "<!-- scenario-table:begin -->",
+        end: str = "<!-- scenario-table:end -->",
+        write: bool = True,
+    ) -> bool:
+        """Regenerate the scenario table between markers in a markdown file.
+
+        Returns ``True`` when the embedded table already matched the
+        registry (nothing to do).  With ``write=True`` (the default) a
+        stale table is rewritten in place; with ``write=False`` the file
+        is left untouched, so tests can use the return value as a pure
+        drift check.  Missing markers are a specification error — the
+        table must have a designated home before it can be synced.
+        """
+        target = Path(path)
+        text = target.read_text(encoding="utf-8")
+        if begin not in text or end not in text:
+            raise SpecificationError(
+                f"{target} has no {begin!r}/{end!r} markers to sync the scenario table into"
+            )
+        head, _, rest = text.partition(begin)
+        embedded, _, tail = rest.partition(end)
+        table = self.markdown_table()
+        if embedded.strip() == table:
+            return True
+        if write:
+            target.write_text(
+                f"{head}{begin}\n{table}\n{end}{tail}", encoding="utf-8"
+            )
+        return False

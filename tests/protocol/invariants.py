@@ -1,0 +1,242 @@
+"""Machine-checkable protocol invariants, replayed from stored timelines.
+
+Each checker takes one experiment's local timelines (the mapping
+``machine nickname -> LocalTimeline`` kept by
+``ExecutionConfig(keep_raw_results=True)`` or loaded back from a campaign
+store) and returns a list of human-readable violation strings — empty
+when the safety property held.  The checkers consume only recorded data:
+state-change records, fault-injection records, and the structured
+``@kind key=value`` protocol notes of :mod:`repro.apps.protocol_notes`.
+No simulator access, no application internals — an archived campaign is
+enough to re-audit years later.
+
+The properties:
+
+* **Raft election safety** — at most one replica wins any given term
+  (``@raft-leader`` notes).
+* **Raft committed-prefix agreement** — two replicas that both committed
+  log index ``i`` committed the same ``(term, command)`` there
+  (``@raft-commit`` notes).
+* **Quorum read intersection** — with ``W + R > N`` a read never returns
+  a version older than the last commit the client observed
+  (``@quorum-read`` notes carry both).
+* **SWIM confirmed-dead-really-crashed** — every ``@swim-confirm``
+  verdict names a member whose own timeline records a real crash.
+  (Deliberately *not* applied to the partition scenario, whose measure is
+  exactly the rate at which this property fails.)
+* **DFS store consistency** — every stored copy of a ``(chunk, version)``
+  pair carries identical content (``@dfs-store`` notes).
+* **DFS commit quorum** — every ``@dfs-commit`` names ``replication``
+  distinct datanodes, each of which really stored the chunk at (at
+  least) the committed version before anything could acknowledge.
+
+``SCENARIO_INVARIANTS`` maps every protocol scenario of the default
+registry to the checkers that must hold for it;
+:func:`violations_for_experiment` and :func:`assert_invariants` are the
+entry points the test modules share.
+"""
+
+from __future__ import annotations
+
+from repro.apps.protocol_notes import ProtocolNote, parse_protocol_note
+
+# ---------------------------------------------------------------------------
+# Timeline access helpers
+# ---------------------------------------------------------------------------
+
+
+def collect_notes(timelines, kind: str) -> list[tuple[str, ProtocolNote]]:
+    """All ``(machine, note)`` pairs of one structured-note kind."""
+    found: list[tuple[str, ProtocolNote]] = []
+    for machine in sorted(timelines):
+        for text in timelines[machine].notes:
+            note = parse_protocol_note(text)
+            if note is not None and note.kind == kind:
+                found.append((machine, note))
+    return found
+
+
+def crashed_machines(timelines) -> set[str]:
+    """Machines whose own timeline records an entry into ``CRASH``."""
+    crashed: set[str] = set()
+    for machine in sorted(timelines):
+        for record in timelines[machine].state_changes():
+            if record.new_state == "CRASH":
+                crashed.add(machine)
+    return crashed
+
+
+# ---------------------------------------------------------------------------
+# Raft
+# ---------------------------------------------------------------------------
+
+
+def check_raft_election_safety(timelines) -> list[str]:
+    """At most one distinct replica ever announces leadership of a term."""
+    leaders_by_term: dict[int, set[str]] = {}
+    for _, note in collect_notes(timelines, "raft-leader"):
+        term = int(note["term"])
+        leaders_by_term.setdefault(term, set()).add(note["node"])
+    return [
+        f"election safety: term {term} has {len(nodes)} leaders "
+        f"({', '.join(sorted(nodes))})"
+        for term, nodes in sorted(leaders_by_term.items())
+        if len(nodes) > 1
+    ]
+
+
+def check_raft_log_matching(timelines) -> list[str]:
+    """Replicas that committed the same index committed the same entry."""
+    entries_by_index: dict[int, set[tuple[str, str]]] = {}
+    for _, note in collect_notes(timelines, "raft-commit"):
+        index = int(note["index"])
+        entries_by_index.setdefault(index, set()).add((note["term"], note["cmd"]))
+    return [
+        f"log matching: index {index} committed as {sorted(entries)}"
+        for index, entries in sorted(entries_by_index.items())
+        if len(entries) > 1
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Quorum register
+# ---------------------------------------------------------------------------
+
+
+def check_quorum_reads(timelines) -> list[str]:
+    """A read never observes a version older than the last commit."""
+    return [
+        f"stale read on {machine}: got version {note['got']} after "
+        f"commit {note['committed']}"
+        for machine, note in collect_notes(timelines, "quorum-read")
+        if int(note["got"]) < int(note["committed"])
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SWIM failure detector
+# ---------------------------------------------------------------------------
+
+
+def check_swim_confirms(timelines) -> list[str]:
+    """Every confirm verdict names a member that really crashed."""
+    crashed = crashed_machines(timelines)
+    return [
+        f"false confirm: {note['by']} declared {note['target']} dead, "
+        f"but it never crashed"
+        for _, note in collect_notes(timelines, "swim-confirm")
+        if note["target"] not in crashed
+    ]
+
+
+# ---------------------------------------------------------------------------
+# DFS master/replica
+# ---------------------------------------------------------------------------
+
+
+def check_dfs_store_consistency(timelines) -> list[str]:
+    """Every stored copy of a ``(chunk, version)`` has the same content."""
+    contents: dict[tuple[str, int], set[str]] = {}
+    for _, note in collect_notes(timelines, "dfs-store"):
+        key = (note["chunk"], int(note["version"]))
+        contents.setdefault(key, set()).add(note["content"])
+    return [
+        f"store divergence: {chunk} v{version} stored as {sorted(variants)}"
+        for (chunk, version), variants in sorted(contents.items())
+        if len(variants) > 1
+    ]
+
+
+def check_dfs_commit_quorum(timelines, replication: int = 2) -> list[str]:
+    """Commits name ``replication`` distinct datanodes that really stored.
+
+    The acknowledgement path guarantees a store note precedes every ack,
+    so a commit whose replica never recorded storing the chunk at (at
+    least) the committed version means the master counted an ack that
+    had no durable store behind it.
+    """
+    stored: dict[tuple[str, str], int] = {}
+    for machine, note in collect_notes(timelines, "dfs-store"):
+        key = (note["node"], note["chunk"])
+        stored[key] = max(stored.get(key, -1), int(note["version"]))
+    violations: list[str] = []
+    for _, note in collect_notes(timelines, "dfs-commit"):
+        chunk, version = note["chunk"], int(note["version"])
+        replicas = tuple(note["replicas"].split(","))
+        if len(set(replicas)) != replication:
+            violations.append(
+                f"commit quorum: {chunk} v{version} committed on "
+                f"{len(set(replicas))} replicas, expected {replication}"
+            )
+        for replica in replicas:
+            if stored.get((replica, chunk), -1) < version:
+                violations.append(
+                    f"commit quorum: {chunk} v{version} committed on {replica}, "
+                    f"which never stored it"
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# The scenario -> invariants table
+# ---------------------------------------------------------------------------
+
+_RAFT = (check_raft_election_safety, check_raft_log_matching)
+_QUORUM = (check_quorum_reads,)
+_SWIM = (check_swim_confirms,)
+_DFS = (check_dfs_store_consistency, check_dfs_commit_quorum)
+
+#: Which checkers must hold for each protocol scenario of the default
+#: registry.  ``swim-partition`` intentionally omits the confirmed-dead
+#: checker: its false positives are the scenario's measure, not a bug.
+SCENARIO_INVARIANTS: dict[str, tuple] = {
+    "raft-election": _RAFT,
+    "raft-election-uncorrelated": _RAFT,
+    "raft-election-partition": _RAFT,
+    "quorum-register": _QUORUM,
+    "quorum-register-uncorrelated": _QUORUM,
+    "quorum-register-partition": _QUORUM,
+    "swim-detector": _SWIM,
+    "swim-detector-uncorrelated": _SWIM,
+    "swim-partition": (),
+    "dfs-master": _DFS,
+    "dfs-master-uncorrelated": _DFS,
+    "dfs-master-partition": _DFS,
+}
+
+#: The note kind whose presence proves the scenario actually exercised its
+#: protocol (guards against invariants passing vacuously on empty runs).
+SCENARIO_ACTIVITY: dict[str, str] = {
+    "raft-election": "raft-commit",
+    "raft-election-uncorrelated": "raft-commit",
+    "raft-election-partition": "raft-leader",
+    "quorum-register": "quorum-read",
+    "quorum-register-uncorrelated": "quorum-read",
+    "quorum-register-partition": "quorum-read",
+    "swim-detector": "swim-confirm",
+    "swim-detector-uncorrelated": "swim-confirm",
+    "swim-partition": "swim-confirm",
+    "dfs-master": "dfs-commit",
+    "dfs-master-uncorrelated": "dfs-commit",
+    "dfs-master-partition": "dfs-commit",
+}
+
+
+def violations_for_experiment(scenario_name: str, timelines) -> list[str]:
+    """Every invariant violation of one experiment's timelines."""
+    violations: list[str] = []
+    for checker in SCENARIO_INVARIANTS[scenario_name]:
+        violations.extend(checker(timelines))
+    return violations
+
+
+def assert_invariants(scenario_name: str, analysis) -> None:
+    """Assert every experiment of every study satisfies its invariants."""
+    for study_name in analysis.studies:
+        for index, experiment in enumerate(analysis.studies[study_name].experiments):
+            timelines = experiment.result.local_timelines
+            violations = violations_for_experiment(scenario_name, timelines)
+            assert not violations, (
+                f"{scenario_name} ({study_name}, experiment {index}): "
+                + "; ".join(violations)
+            )

@@ -1,0 +1,144 @@
+"""Proof that every invariant checker can actually fail.
+
+Each protocol app carries one deliberate-breakage knob, never set by the
+registry scenarios, that removes exactly the mechanism its safety
+property rests on:
+
+* Raft — ``unsafe_grant_votes=True`` grants every vote request (no
+  one-vote-per-term, no log up-to-dateness) and lets deposed leaders
+  accept same-term appends; identical fixed election timeouts make the
+  replicas campaign simultaneously, so several win the same term and
+  their logs commit divergent entries.
+* Quorum — ``write_quorum=1, read_quorum=1, send_to_all=False``:
+  non-intersecting quorums sprayed round-robin, so reads routinely miss
+  the replica holding the last commit.
+* SWIM — an ``ack_timeout`` below the network round trip plus a tiny
+  ``suspicion_timeout``: every ping "times out", suspicions mature into
+  confirm verdicts, and nobody ever crashed.
+* DFS — ``corrupt_store=True`` on one datanode: it mangles the content
+  it stores while acknowledging as if the store were faithful.
+
+A checker that cannot flag these configurations would be decorative; a
+checker that flags the *correct* configurations would be noise.  Both
+directions are pinned here.
+"""
+
+from __future__ import annotations
+
+from invariants import (
+    check_dfs_store_consistency,
+    check_quorum_reads,
+    check_raft_election_safety,
+    check_raft_log_matching,
+    check_swim_confirms,
+)
+from repro.apps.dfsmaster import DfsParameters, build_dfs_study
+from repro.apps.quorum import QuorumParameters, build_quorum_study
+from repro.apps.raft import RAFT_MACHINES, RaftParameters, build_raft_study
+from repro.apps.swim import SWIM_MACHINES, SwimParameters, build_swim_study
+from repro.core.campaign import CampaignConfig
+from repro.core.execution import ExecutionConfig
+from repro.pipeline import run_and_analyze
+
+
+def run_study(study):
+    campaign = CampaignConfig(name=f"selftest-{study.name}", studies=[study])
+    analysis = run_and_analyze(
+        campaign, execution=ExecutionConfig(keep_raw_results=True)
+    )
+    return [
+        experiment.result.local_timelines
+        for experiment in analysis.studies[study.name].experiments
+    ]
+
+
+def total_violations(checker, experiments):
+    return [violation for timelines in experiments for violation in checker(timelines)]
+
+
+def test_unsafe_raft_violates_election_safety():
+    """Simultaneous candidacies + promiscuous votes -> several same-term leaders."""
+    broken = {
+        machine: RaftParameters(
+            election_timeout_min=0.050,
+            election_timeout_max=0.050,  # identical fixed timers: everyone
+            unsafe_grant_votes=True,  # campaigns at once, everyone wins
+        )
+        for machine in RAFT_MACHINES
+    }
+    experiments = run_study(
+        build_raft_study(
+            "raft-unsafe", parameters_by_machine=broken, experiments=3, seed=5
+        )
+    )
+    safety = total_violations(check_raft_election_safety, experiments)
+    assert safety, "unsafe vote granting never produced a dual-leader term"
+    assert any("election safety" in violation for violation in safety)
+    # Divergent leaders append divergent entries at the same indices.
+    matching = total_violations(check_raft_log_matching, experiments)
+    assert matching, "dual leaders never committed divergent log entries"
+
+
+def test_sub_intersecting_quorums_produce_stale_reads():
+    broken = QuorumParameters(write_quorum=1, read_quorum=1, send_to_all=False)
+    experiments = run_study(
+        build_quorum_study(
+            "quorum-broken", parameters=broken, experiments=3, seed=5
+        )
+    )
+    violations = total_violations(check_quorum_reads, experiments)
+    assert violations, "W=1/R=1 round-robin quorums never produced a stale read"
+    assert any("stale read" in violation for violation in violations)
+
+
+def test_impatient_swim_confirms_live_members_dead():
+    broken = {
+        machine: SwimParameters(
+            ack_timeout=0.001,  # below the network round trip: every
+            suspicion_timeout=0.010,  # ping "fails", every suspicion matures
+        )
+        for machine in SWIM_MACHINES
+    }
+    experiments = run_study(
+        build_swim_study(
+            "swim-impatient", parameters_by_machine=broken, experiments=3, seed=5
+        )
+    )
+    violations = total_violations(check_swim_confirms, experiments)
+    assert violations, "sub-RTT ack timeouts never produced a false confirm"
+    assert any("never crashed" in violation for violation in violations)
+
+
+def test_corrupting_datanode_breaks_store_consistency():
+    experiments = run_study(
+        build_dfs_study(
+            "dfs-bitrot",
+            parameters_by_machine={"d1": DfsParameters(corrupt_store=True)},
+            experiments=3,
+            seed=5,
+        )
+    )
+    violations = total_violations(check_dfs_store_consistency, experiments)
+    assert violations, "a corrupting datanode never tripped the consistency check"
+    assert any("bitrot" in violation for violation in violations)
+
+
+def test_correct_configurations_stay_clean():
+    """The same checkers stay silent on the default (correct) parameters."""
+    clean = {
+        check_raft_election_safety: build_raft_study(
+            "raft-clean", experiments=2, seed=5
+        ),
+        check_quorum_reads: build_quorum_study(
+            "quorum-clean", experiments=2, seed=5
+        ),
+        check_swim_confirms: build_swim_study(
+            "swim-clean", experiments=2, seed=5
+        ),
+        check_dfs_store_consistency: build_dfs_study(
+            "dfs-clean", experiments=2, seed=5
+        ),
+    }
+    for checker, study in clean.items():
+        violations = total_violations(checker, run_study(study))
+        assert not violations, f"{checker.__name__} flagged a correct run: {violations}"

@@ -1,0 +1,123 @@
+"""Registry error paths and fault-token round trips for the protocol suite.
+
+The scenario registry is the seam every workload plugs into, so its
+failure modes are part of the contract: duplicate names must be rejected
+at registration time, unknown names must produce an actionable
+"did you mean" diagnosis, and every fault a protocol scenario declares —
+crash faults, state-triggered network faults, scheduled network faults —
+must survive the textual fault-specification format through the *real*
+parser, because that format is how campaigns are archived and re-audited.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from invariants import SCENARIO_INVARIANTS
+from repro.core.specs.fault_spec import (
+    format_fault_specification,
+    parse_fault_specification,
+)
+from repro.errors import SpecificationError, UnknownScenarioError
+from repro.scenarios import DEFAULT_REGISTRY, Scenario, ScenarioRegistry
+from repro.sim.topology import NetworkFaultSpec
+
+PROTOCOL_SCENARIOS = tuple(SCENARIO_INVARIANTS)
+
+
+def _dummy_builder(name="dummy", experiments=1, seed=0):
+    raise AssertionError("never built")
+
+
+class TestRegistration:
+    def test_duplicate_registration_is_a_specification_error(self):
+        registry = ScenarioRegistry()
+        registry.register(Scenario(name="dup", description="", builder=_dummy_builder))
+        with pytest.raises(SpecificationError, match="'dup' is already registered"):
+            registry.register(
+                Scenario(name="dup", description="other", builder=_dummy_builder)
+            )
+
+    def test_duplicate_rejection_leaves_the_original_entry(self):
+        registry = ScenarioRegistry()
+        original = registry.register(
+            Scenario(name="dup", description="first", builder=_dummy_builder)
+        )
+        with pytest.raises(SpecificationError):
+            registry.register(
+                Scenario(name="dup", description="second", builder=_dummy_builder)
+            )
+        assert registry.get("dup") is original
+        assert registry.names().count("dup") == 1
+
+
+class TestUnknownScenarioDiagnosis:
+    def test_typo_gets_a_did_you_mean_suggestion(self):
+        with pytest.raises(UnknownScenarioError) as excinfo:
+            DEFAULT_REGISTRY.get("raft-electoin")
+        message = str(excinfo.value)
+        assert "did you mean" in message
+        assert "'raft-election'" in message
+
+    def test_closest_name_is_suggested_first(self):
+        with pytest.raises(UnknownScenarioError) as excinfo:
+            DEFAULT_REGISTRY.get("quorum-registry")
+        message = str(excinfo.value)
+        suggestions = message.split("did you mean ")[1].split("?")[0]
+        assert suggestions.split(" or ")[0] == "'quorum-register'"
+
+    def test_hopeless_name_still_lists_every_known_scenario(self):
+        with pytest.raises(UnknownScenarioError) as excinfo:
+            DEFAULT_REGISTRY.get("zzzzzz")
+        message = str(excinfo.value)
+        assert "did you mean" not in message
+        for name in DEFAULT_REGISTRY.names():
+            assert name in message
+
+    def test_empty_registry_reports_none(self):
+        with pytest.raises(UnknownScenarioError, match="<none>"):
+            ScenarioRegistry().get("anything")
+
+
+class TestFaultTokenRoundTrips:
+    """Every protocol scenario's faults survive the textual format."""
+
+    @pytest.mark.parametrize("scenario_name", PROTOCOL_SCENARIOS)
+    def test_machine_fault_specifications_round_trip(self, scenario_name):
+        study = DEFAULT_REGISTRY.get(scenario_name).build(experiments=1)
+        for nickname, specification in sorted(study.fault_specifications().items()):
+            if not specification.faults:
+                continue
+            text = format_fault_specification(specification)
+            reparsed = parse_fault_specification(text)
+            assert reparsed.describe() == specification.describe(), (
+                f"{scenario_name}/{nickname}: fault lines changed through the parser"
+            )
+            assert format_fault_specification(reparsed) == text, (
+                f"{scenario_name}/{nickname}: formatting is not a fixed point"
+            )
+
+    @pytest.mark.parametrize("scenario_name", PROTOCOL_SCENARIOS)
+    def test_scheduled_network_tokens_round_trip(self, scenario_name):
+        study = DEFAULT_REGISTRY.get(scenario_name).build(experiments=1)
+        for scheduled in study.network.schedule:
+            token = scheduled.spec.to_token()
+            assert NetworkFaultSpec.from_token(token).to_token() == token
+
+    def test_the_suite_exercises_every_fault_shape(self):
+        """The protocol scenarios jointly cover crash faults, state-triggered
+        network faults, and scheduled network faults — if a variant loses
+        its faults, the round-trip tests above would silently shrink."""
+        crash = network = scheduled = 0
+        for scenario_name in PROTOCOL_SCENARIOS:
+            study = DEFAULT_REGISTRY.get(scenario_name).build(experiments=1)
+            for specification in study.fault_specifications().values():
+                for fault in specification.faults:
+                    if fault.network is None:
+                        crash += 1
+                    else:
+                        network += 1
+            scheduled += len(study.network.schedule)
+        assert crash >= 6, f"expected crash faults across the suite, saw {crash}"
+        assert network >= 2, f"expected state-triggered network faults, saw {network}"
+        assert scheduled >= 2, f"expected scheduled network faults, saw {scheduled}"

@@ -82,8 +82,13 @@ class TestReadmeSnippetsRun:
 
     @pytest.mark.parametrize(
         "marker",
-        ["run_and_analyze(campaign", "CampaignStore(", "ExecutionConfig.distributed("],
-        ids=["quickstart", "persistence", "distributed"],
+        [
+            "run_and_analyze(campaign",
+            "CampaignStore(",
+            "ExecutionConfig.distributed(",
+            "notes_of_kind(",
+        ],
+        ids=["quickstart", "persistence", "distributed", "protocol"],
     )
     def test_snippet_executes(self, marker, tmp_path, monkeypatch):
         snippets = [
@@ -99,6 +104,37 @@ class TestReadmeSnippetsRun:
 
 
 class TestDocContracts:
+    def test_readme_scenario_table_is_in_sync(self):
+        """The generated scenario table matches the live registry.
+
+        ``sync_markdown_table(write=False)`` is the pure drift check; a
+        stale table is regenerated with
+        ``PYTHONPATH=src python -m repro.scenarios.catalog``.
+        """
+        from repro.scenarios import DEFAULT_REGISTRY
+
+        assert DEFAULT_REGISTRY.sync_markdown_table(README, write=False), (
+            "README scenario table is stale; regenerate it with "
+            "'PYTHONPATH=src python -m repro.scenarios.catalog'"
+        )
+
+    def test_architecture_tour_covers_the_protocol_suite(self):
+        """The tour documents each protocol app with its invariant and measure."""
+        text = (DOCS / "architecture.md").read_text(encoding="utf-8")
+        assert "Protocol scenario suite" in text
+        for token in (
+            "repro.apps.raft",
+            "repro.apps.quorum",
+            "repro.apps.swim",
+            "repro.apps.dfsmaster",
+            "tests/protocol",
+            "dual-leadership",
+            "stale-reads",
+            "confirm-events",
+            "replica-divergence",
+        ):
+            assert token in text, f"architecture tour does not mention {token}"
+
     def test_quickstart_mentions_the_store_parameter(self):
         text = README.read_text(encoding="utf-8")
         quickstart = text.split("## Quickstart")[1].split("\n## ")[0]
